@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its (deterministic) simulation exactly once via
+``benchmark.pedantic(..., rounds=1)``: the interesting output is the
+*simulated* metric (latencies/bandwidths inside the virtual cluster),
+which repetition cannot change; pytest-benchmark's wall-clock number
+then reports how long the simulation itself takes to execute.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Figure 6 — TCP/Fast-Ethernet: ch_mad vs ch_p4 vs raw Madeleine.
+
+Paper shape statements (§5.2):
+ (a) ch_mad beats ch_p4 for messages not exceeding ~256 B; the gap stays
+     limited for longer messages; ch_mad tracks raw Madeleine + ~28 us
+     (21 us extra pack pair + ~7 us handling).
+ (b) ch_p4 hits a ~10 MB/s ceiling for large messages while ch_mad keeps
+     climbing past 11 MB/s, delivering ~100 % of raw Madeleine's
+     bandwidth for long (rendezvous) messages.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import figure6_tcp
+
+
+def test_figure6_tcp(benchmark):
+    figure = run_once(benchmark, figure6_tcp)
+    print()
+    print(figure.render())
+    ch_mad = figure.series["ch_mad"]
+    ch_p4 = figure.series["ch_p4"]
+    raw = figure.series["raw_Madeleine"]
+
+    # (a) ch_mad wins at small sizes.
+    for size in (1, 4, 16, 64, 256):
+        lat_mad, _ = ch_mad.at(size)
+        lat_p4, _ = ch_p4.at(size)
+        assert lat_mad < lat_p4, f"ch_mad must beat ch_p4 at {size} B"
+
+    # (a) the gap stays limited (within 15 %) at 1 KB.
+    lat_mad, _ = ch_mad.at(1024)
+    lat_p4, _ = ch_p4.at(1024)
+    assert abs(lat_p4 - lat_mad) / lat_mad < 0.15
+
+    # (a) ch_mad ~ raw + 28 us at 4 B (21 pack + 7 handling).
+    overhead = ch_mad.at(4)[0] - raw.at(4)[0]
+    assert 20.0 < overhead < 36.0, f"ch_mad-over-raw = {overhead:.1f} us"
+
+    # (b) ch_p4 ceiling ~10 MB/s; ch_mad exceeds 11 MB/s at 1 MB.
+    assert ch_p4.at(1024 * 1024)[1] < 10.5
+    assert ch_mad.at(1024 * 1024)[1] > 11.0
+
+    # (b) bandwidths are similar (within 20 %) below the 64 KB switch.
+    for size in (4096, 16384, 65536):
+        bw_mad = ch_mad.at(size)[1]
+        bw_p4 = ch_p4.at(size)[1]
+        assert abs(bw_mad - bw_p4) / bw_mad < 0.20
+
+    # (b) ch_mad delivers ~100 % of raw Madeleine bandwidth at 1 MB.
+    assert ch_mad.at(1024 * 1024)[1] > 0.93 * raw.at(1024 * 1024)[1]

@@ -1,0 +1,63 @@
+"""Figure 8 — BIP/Myrinet: ch_mad vs raw Madeleine vs MPI-GM vs MPICH-PM.
+
+Paper shape statements (§5.4):
+ (a) raw Madeleine ~9 us, ch_mad ~20 us (4.5 us pack pair + 6.5 us
+     handling); ch_mad beats MPI-GM below 512 B and trails MPICH-PM by
+     ~5 us; above ~512 B MPI-GM takes the latency lead (ch_mad pays
+     BIP's 1 KB long-message handshake).
+ (b) MPI-GM is "definitely outperformed" by both ch_mad and MPICH-PM;
+     the ch_mad curve dips at 1 KB (BIP's doing); the eager/rendezvous
+     switch sits around 7 KB; MPICH-PM leads below 4 KB and above
+     256 KB, with rough parity in between.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import figure8_myrinet
+
+
+def test_figure8_myrinet(benchmark):
+    figure = run_once(benchmark, figure8_myrinet)
+    print()
+    print(figure.render())
+    ch_mad = figure.series["ch_mad"]
+    raw = figure.series["raw_Madeleine"]
+    gm = figure.series["MPI-GM"]
+    pm = figure.series["MPICH-PM"]
+
+    # (a) overhead over raw Madeleine ~11 us at 4 B.
+    overhead = ch_mad.at(4)[0] - raw.at(4)[0]
+    assert 7.0 < overhead < 16.0, f"ch_mad-over-raw = {overhead:.1f} us"
+
+    # (a) ch_mad beats MPI-GM below 512 B...
+    for size in (1, 4, 16, 64, 256):
+        assert ch_mad.at(size)[0] < gm.at(size)[0]
+    # ...but MPI-GM wins at 1 KB (the BIP long-message handshake bites).
+    assert gm.at(1024)[0] < ch_mad.at(1024)[0]
+
+    # (a) MPICH-PM is ~5 us ahead of ch_mad at small sizes.
+    gap = ch_mad.at(4)[0] - pm.at(4)[0]
+    assert 2.0 < gap < 10.0, f"PM gap = {gap:.1f} us"
+
+    # (b) the 1 KB dip: the bandwidth growth 256 B -> 1 KB collapses
+    # relative to the healthy growth just before it (BIP's long-message
+    # handshake), then the curve recovers.
+    healthy_growth = ch_mad.at(256)[1] / ch_mad.at(64)[1]
+    dip_growth = ch_mad.at(1024)[1] / ch_mad.at(256)[1]
+    assert dip_growth < 0.75 * healthy_growth, (
+        f"no 1 KB dip: growth {dip_growth:.2f} vs healthy {healthy_growth:.2f}"
+    )
+    assert ch_mad.at(4096)[1] > 1.5 * ch_mad.at(1024)[1], "must recover"
+
+    # (b) MPI-GM definitely outperformed at large sizes by both.
+    for size in (65536, 262144, 1024 * 1024):
+        assert ch_mad.at(size)[1] > gm.at(size)[1]
+        assert pm.at(size)[1] > gm.at(size)[1]
+
+    # (b) MPICH-PM ahead below 4 KB and at/above 256 KB...
+    assert pm.at(1024)[1] > ch_mad.at(1024)[1]
+    assert pm.at(1024 * 1024)[1] > ch_mad.at(1024 * 1024)[1]
+    # ...and roughly equal (within 20 %) in the 16-64 KB middle range.
+    for size in (16384, 65536):
+        ratio = ch_mad.at(size)[1] / pm.at(size)[1]
+        assert 0.8 < ratio < 1.25, f"mid-range ratio {ratio:.2f} at {size}"

@@ -1,0 +1,82 @@
+"""Figure 9 — the cost of the multi-protocol feature.
+
+All traffic rides SCI; the second configuration additionally opens (and
+polls) a TCP channel.  Paper shape statements (§5.5): the extra polling
+thread costs something, the loss is "directly linked with the secondary
+protocol supported", but "in any cases, the gap remains limited and the
+performance ... is very close to the device performance in mono-protocol
+mode".
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import figure9_multiprotocol
+
+
+def test_figure9_sci_plus_tcp_polling(benchmark):
+    figure = run_once(benchmark, figure9_multiprotocol)
+    print()
+    print(figure.render())
+    alone = figure.series["SCI_thread_only"]
+    both = figure.series["SCI_thread_+_TCP_thread"]
+
+    # The TCP polling thread never helps.
+    slower = sum(
+        1 for size in alone.sizes
+        if both.at(size)[0] >= alone.at(size)[0] * 0.999
+    )
+    assert slower >= len(alone.sizes) - 1, "interference should hurt (or tie)"
+
+    # There is a measurable gap at small sizes...
+    gap_4 = both.at(4)[0] - alone.at(4)[0]
+    assert gap_4 > 0.3, f"expected visible interference, gap={gap_4:.2f} us"
+
+    # ...but it remains limited: within 35 % at small sizes, and the
+    # large-message bandwidths nearly coincide.
+    assert both.at(4)[0] < alone.at(4)[0] * 1.35
+    for size in (262144, 1024 * 1024):
+        ratio = both.at(size)[1] / alone.at(size)[1]
+        assert ratio > 0.90, f"large-message bandwidth ratio {ratio:.2f}"
+
+
+def test_fig9_interference_is_polling_cpu(benchmark):
+    """Attribute the Figure 9 gap: the TCP polling thread's CPU share.
+
+    Per-task CPU accounting shows the secondary poller burning select()
+    cycles while carrying zero traffic — the *mechanism* behind the gap.
+    """
+
+    def run():
+        from repro.cluster import MPIWorld, two_node_cluster
+        world = MPIWorld(two_node_cluster(networks=("sisci", "tcp"),
+                                          active_network="sisci"))
+
+        def program(mpi):
+            comm = mpi.comm_world
+            for _ in range(40):
+                if comm.rank == 0:
+                    yield from comm.send(b"", dest=1, tag=1, size=256)
+                    yield from comm.recv(source=1, tag=1)
+                else:
+                    yield from comm.recv(source=0, tag=1)
+                    yield from comm.send(b"", dest=0, tag=1, size=256)
+
+        world.run(program)
+        cpu = world.envs[1].process.runtime.cpu
+        shares = {}
+        for task in cpu.tasks():
+            if ".poll." in task.name or task.name.endswith(".main#1"):
+                shares[task.name.split(".", 1)[1]] = task.cpu_time
+        total_busy = cpu.busy_time
+        return shares, total_busy, world.engine.now
+
+    shares, total_busy, elapsed = run_once(benchmark, run)
+    tcp_time = next(v for k, v in shares.items() if "tcp" in k)
+    sci_time = next(v for k, v in shares.items() if "sisci" in k)
+    print()
+    print(f"rank1 CPU attribution over {elapsed / 1000:.0f} us: "
+          + ", ".join(f"{k}={v / 1000:.1f} us" for k, v in shares.items()))
+    # The idle TCP poller burns real CPU despite carrying no traffic...
+    assert tcp_time > 0.10 * elapsed, "TCP poller share unexpectedly small"
+    # ...more than the SCI poller that handles all 80 messages.
+    assert tcp_time > 1.3 * sci_time

@@ -1,0 +1,64 @@
+"""Multi-rail striping bench (paper §3.1's multiple-NICs capability).
+
+Beyond the paper's evaluation: Madeleine claims support for several
+adapters per protocol; this bench measures what channel striping buys on
+DMA networks (BIP/Myrinet) — and what it does *not* buy on PIO networks
+(SCI), where the sending CPU is the transfer engine and a second rail
+cannot help a single sender.
+"""
+
+from conftest import run_once
+
+from repro.bench.report import format_table
+from repro.madeleine import MadeleineSession
+from repro.madeleine.striping import striped_recv, striped_send
+from repro.units import bandwidth_mb_s
+
+SIZE = 4_000_000
+
+
+def _striped_time(protocol, rails):
+    session = MadeleineSession()
+    names = [protocol] + [f"{protocol}#{i}" for i in range(1, rails)]
+    for name in names:
+        session.add_fabric(name)
+    p0 = session.add_process(networks=names)
+    p1 = session.add_process(networks=names)
+    channels = [session.new_channel(name, name) for name in names]
+    ports0 = [p0.port(c) for c in channels]
+    ports1 = [p1.port(c) for c in channels]
+
+    def sender():
+        yield from striped_send(ports0, 1, b"", SIZE)
+
+    def receiver():
+        yield from striped_recv(ports1, SIZE)
+
+    p0.runtime.spawn(sender)
+    p1.runtime.spawn(receiver)
+    return session.run()
+
+
+def test_striping_scales_on_dma_not_pio(benchmark):
+    def run():
+        rows = []
+        for protocol in ("bip", "sisci"):
+            one = _striped_time(protocol, 1)
+            two = _striped_time(protocol, 2)
+            rows.append((protocol,
+                         bandwidth_mb_s(SIZE, one),
+                         bandwidth_mb_s(SIZE, two),
+                         one / two))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["network", "1 rail (MB/s)", "2 rails (MB/s)", "speedup"],
+        rows, title=f"channel striping, {SIZE // 1_000_000} MB transfers"))
+    by_net = {r[0]: r for r in rows}
+    # DMA (Myrinet): the wire is the bottleneck; a second rail ~doubles it.
+    assert by_net["bip"][3] > 1.7
+    # PIO (SCI): the sending CPU is the bottleneck; a second rail is
+    # nearly useless for a single sender.
+    assert by_net["sisci"][3] < 1.25

@@ -1,0 +1,27 @@
+"""Table 1 — raw Madeleine latency and bandwidth per protocol.
+
+Paper anchors: TCP 121 us / 11.2 MB/s; BIP 9.2 us / 122 MB/s;
+SISCI 4.4 us / 82.6 MB/s (8 MB messages, 1 MB = 10^6 B).
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import TABLE1_PAPER, table1_checks
+from repro.bench.report import format_paper_checks
+
+
+def test_table1_raw_madeleine(benchmark):
+    checks = run_once(benchmark, table1_checks)
+    print()
+    print(format_paper_checks(checks, "Table 1: raw Madeleine"))
+    by_name = {c.quantity: c for c in checks}
+
+    # Absolute anchors within tolerance (these calibrate everything else).
+    for quantity, check in by_name.items():
+        assert check.ok, f"{quantity}: paper {check.paper}, measured {check.measured:.2f}"
+
+    # Shape: the protocol ordering must hold.
+    lat = {p: by_name[f"{p}.latency_us"].measured for p in TABLE1_PAPER}
+    bw = {p: by_name[f"{p}.bandwidth_mb_s"].measured for p in TABLE1_PAPER}
+    assert lat["sisci"] < lat["bip"] < lat["tcp"]
+    assert bw["tcp"] < bw["sisci"] < bw["bip"]

@@ -1,0 +1,36 @@
+"""Table 2 — ch_mad performance summary.
+
+Paper anchors (0 B latency / 4 B latency / 8 MB bandwidth):
+TCP 130 / 148.7 us / 11.2 MB/s; BIP 16.9 / 18.9 us / 115 MB/s;
+SISCI 13 / 20 us / 82.5 MB/s.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import TABLE2_PAPER, table2_checks
+from repro.bench.report import format_paper_checks
+
+
+def test_table2_ch_mad_summary(benchmark):
+    checks = run_once(benchmark, table2_checks)
+    print()
+    print(format_paper_checks(checks, "Table 2: ch_mad summary"))
+    by_name = {c.quantity: c for c in checks}
+
+    # 4-byte latencies and bandwidths are the headline anchors.
+    for protocol in TABLE2_PAPER:
+        assert by_name[f"{protocol}.lat4_us"].ok
+        assert by_name[f"{protocol}.bandwidth_mb_s"].ok
+
+    # 0-byte messages skip the body pack, so they are strictly cheaper;
+    # the gap approximates the extra pack/unpack pair per network.
+    for protocol in TABLE2_PAPER:
+        lat0 = by_name[f"{protocol}.lat0_us"].measured
+        lat4 = by_name[f"{protocol}.lat4_us"].measured
+        assert lat0 < lat4
+
+    # ch_mad never beats raw Madeleine (Table 1) — it adds overhead.
+    from repro.bench.figures import TABLE1_PAPER
+    assert by_name["sisci.lat4_us"].measured > TABLE1_PAPER["sisci"]["latency_us"]
+    assert by_name["bip.lat4_us"].measured > TABLE1_PAPER["bip"]["latency_us"]
+    assert by_name["tcp.lat4_us"].measured > TABLE1_PAPER["tcp"]["latency_us"]

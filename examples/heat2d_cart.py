@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""2-D heat diffusion on a Cartesian process grid.
+
+The full stencil stack: ``dims_create`` picks a balanced grid,
+``create_cart`` builds the topology, persistent-style halo exchanges use
+``cart.shift`` in both dimensions, and ``Gatherv`` reassembles the field
+for verification against a serial reference.
+
+Runs on four SMP nodes of two processors each (a 4x2 process grid), so
+halo traffic crosses ch_self is never needed, smp_plug carries one grid
+dimension and ch_mad/SCI the other.
+
+Run:  python examples/heat2d_cart.py
+"""
+
+import numpy as np
+
+from repro.cluster import MPIWorld, smp_node_cluster
+from repro.mpi.cartesian import dims_create
+
+N = 96          # global grid is N x N
+STEPS = 25
+ALPHA = 0.2
+
+
+def initial_field():
+    x = np.linspace(-1, 1, N)
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    return np.exp(-8 * (xx ** 2 + yy ** 2))
+
+
+def serial_reference():
+    u = initial_field()
+    for _ in range(STEPS):
+        p = np.pad(u, 1, mode="edge")
+        u = u + ALPHA * (p[:-2, 1:-1] + p[2:, 1:-1] + p[1:-1, :-2]
+                         + p[1:-1, 2:] - 4 * u)
+    return u
+
+
+def program(mpi):
+    comm = mpi.comm_world
+    dims = dims_create(comm.size, 2)
+    cart = yield from comm.create_cart(dims, periods=(False, False))
+    pr, pc = cart.coords
+    rows, cols = N // dims[0], N // dims[1]
+    r0, c0 = pr * rows, pc * cols
+
+    u = initial_field()[r0:r0 + rows, c0:c0 + cols].copy()
+
+    for _ in range(STEPS):
+        halos = {}
+        # Exchange both halos of each dimension (PROC_NULL at the edges
+        # makes boundary sends/receives no-ops returning None).
+        for direction, (low_edge, high_edge) in enumerate(
+                ((u[0, :], u[-1, :]), (u[:, 0], u[:, -1]))):
+            # shift(d, 1): source = lower-coord neighbour, dest = higher.
+            low_nbr, high_nbr = cart.shift(direction, 1)
+            t_low, t_high = 2 * direction, 2 * direction + 1
+            reqs = [cart.isend(low_edge.copy(), dest=low_nbr, tag=t_low),
+                    cart.isend(high_edge.copy(), dest=high_nbr, tag=t_high)]
+            # The lower neighbour sent us its high edge, and vice versa.
+            from_low, _ = yield from cart.recv(source=low_nbr, tag=t_high)
+            from_high, _ = yield from cart.recv(source=high_nbr, tag=t_low)
+            for req in reqs:
+                yield from req.wait()
+            halos[direction] = (
+                from_low if from_low is not None else low_edge,
+                from_high if from_high is not None else high_edge,
+            )
+        up, down = halos[0]
+        left, right = halos[1]
+        p = np.pad(u, 1)
+        p[0, 1:-1], p[-1, 1:-1] = up, down
+        p[1:-1, 0], p[1:-1, -1] = left, right
+        # Corner values are unused by the 5-point stencil.
+        u = u + ALPHA * (p[:-2, 1:-1] + p[2:, 1:-1] + p[1:-1, :-2]
+                         + p[1:-1, 2:] - 4 * u)
+
+    # Reassemble on rank 0 with Gatherv (block sizes are equal here, but
+    # the v-collective keeps the example general).
+    counts = [rows * cols] * comm.size
+    displs = list(np.arange(comm.size) * rows * cols)
+    recv = np.zeros(N * N) if comm.rank == 0 else None
+    spec = (recv, counts, displs) if comm.rank == 0 else None
+    yield from comm.Gatherv(u.ravel(), spec, root=0)
+    if comm.rank == 0:
+        # Undo the block layout.
+        full = np.zeros((N, N))
+        for rank in range(comm.size):
+            rr, cc = divmod(rank, dims[1])
+            block = recv[rank * rows * cols:(rank + 1) * rows * cols]
+            full[rr * rows:(rr + 1) * rows,
+                 cc * cols:(cc + 1) * cols] = block.reshape(rows, cols)
+        return full
+    return None
+
+
+def main():
+    config = smp_node_cluster(nodes=4, processes_per_node=2,
+                              networks=("sisci",))
+    world = MPIWorld(config)
+    results = world.run(program)
+    expected = serial_reference()
+    error = float(np.max(np.abs(results[0] - expected)))
+    dims = dims_create(config.world_size, 2)
+    print(f"{N}x{N} grid on a {dims[0]}x{dims[1]} process grid "
+          f"({config.world_size} ranks on 4 SMP nodes)")
+    print(f"max |parallel - serial| = {error:.2e}")
+    assert error < 1e-12
+    print(f"simulated time for {STEPS} steps: {world.engine.now / 1e6:.2f} ms")
+    sci = world.session.fabrics["sisci"]
+    print(f"SCI halo messages: "
+          f"{sum(a.messages_received for a in sci.adapters)}; the other "
+          "grid dimension travelled through smp_plug inside each node")
+
+
+if __name__ == "__main__":
+    main()

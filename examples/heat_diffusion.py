@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""1-D heat diffusion with halo exchange on a heterogeneous meta-cluster.
+
+The paper's motivating workload class (§1): a domain-decomposed stencil
+code running across a *cluster of clusters* — here two SCI nodes and two
+Myrinet nodes joined by Fast-Ethernet, all inside one MPI session.
+Neighbouring ranks inside an island exchange halos over the fast network;
+the island boundary crossing automatically falls back to TCP (ch_mad
+channel selection).
+
+The simulation result is verified against a serial computation, and the
+per-network traffic counters show which wires the halos actually used.
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro.cluster import MPIWorld, cluster_of_clusters
+
+GLOBAL_CELLS = 4096
+STEPS = 50
+ALPHA = 0.1
+
+
+def serial_reference(initial: np.ndarray) -> np.ndarray:
+    u = initial.copy()
+    for _ in range(STEPS):
+        padded = np.pad(u, 1, mode="edge")
+        u = u + ALPHA * (padded[:-2] - 2 * u + padded[2:])
+    return u
+
+
+def initial_condition() -> np.ndarray:
+    x = np.linspace(0.0, 1.0, GLOBAL_CELLS)
+    return np.exp(-200.0 * (x - 0.3) ** 2) + 0.5 * np.exp(-80.0 * (x - 0.7) ** 2)
+
+
+def program(mpi):
+    comm = mpi.comm_world
+    rank, size = comm.rank, comm.size
+    local_n = GLOBAL_CELLS // size
+    lo = rank * local_n
+
+    full = initial_condition()
+    u = full[lo:lo + local_n].copy()
+    left, right = rank - 1, rank + 1
+
+    for _ in range(STEPS):
+        halo_left = u[0]
+        halo_right = u[-1]
+        requests = []
+        if left >= 0:
+            requests.append(comm.isend(float(u[0]), dest=left, tag=1))
+        if right < size:
+            requests.append(comm.isend(float(u[-1]), dest=right, tag=2))
+        if left >= 0:
+            halo_left, _ = yield from comm.recv(source=left, tag=2)
+        if right < size:
+            halo_right, _ = yield from comm.recv(source=right, tag=1)
+        for request in requests:
+            yield from request.wait()
+        padded = np.concatenate(([halo_left], u, [halo_right]))
+        u = u + ALPHA * (padded[:-2] - 2 * u + padded[2:])
+
+    # Gather the final field on rank 0 for verification.
+    pieces = yield from comm.gather(u, root=0)
+    if rank == 0:
+        return np.concatenate(pieces)
+    return None
+
+
+def main():
+    config = cluster_of_clusters(sci_nodes=2, myrinet_nodes=2)
+    world = MPIWorld(config)
+    results = world.run(program)
+
+    computed = results[0]
+    expected = serial_reference(initial_condition())
+    error = float(np.max(np.abs(computed - expected)))
+    print(f"max |parallel - serial| = {error:.2e}")
+    assert error < 1e-12, "parallel result diverged from the serial reference"
+
+    print(f"simulated wall time for {STEPS} steps on 4 ranks: "
+          f"{world.engine.now / 1e6:.3f} ms")
+    print("\ntraffic per network (messages received per adapter):")
+    for name, fabric in sorted(world.session.fabrics.items()):
+        messages = sum(a.messages_received for a in fabric.adapters)
+        payload = sum(a.bytes_received for a in fabric.adapters)
+        print(f"  {name:6s}: {messages:5d} messages, {payload:9d} bytes")
+    sci = world.session.fabrics["sisci"]
+    bip = world.session.fabrics["bip"]
+    tcp = world.session.fabrics["tcp"]
+    assert sum(a.messages_received for a in sci.adapters) > 0, "SCI unused?"
+    assert sum(a.messages_received for a in bip.adapters) > 0, "Myrinet unused?"
+    assert sum(a.messages_received for a in tcp.adapters) > 0, "TCP unused?"
+    print("\nhalo exchange used all three networks: fast paths inside each "
+          "island,\nTCP only across the island boundary — the ch_mad value "
+          "proposition.")
+
+
+if __name__ == "__main__":
+    main()

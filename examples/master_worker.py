@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Master/worker task farm with dynamic load balancing.
+
+The classic ANY_SOURCE idiom: a master hands out work units, workers
+return results tagged with their identity, and faster networks simply
+complete more tasks — run on the heterogeneous meta-cluster, the SCI
+workers out-earn the TCP-reachable Myrinet workers for small tasks
+because their round-trips are cheaper.
+
+Demonstrates: MPI_ANY_SOURCE receives, tag-based protocol (WORK/RESULT/
+STOP), probe-driven masters, and per-network throughput effects.
+
+Run:  python examples/master_worker.py
+"""
+
+import numpy as np
+
+from repro.cluster import MPIWorld, cluster_of_clusters
+from repro.mpi.constants import ANY_SOURCE
+
+TAG_WORK = 1
+TAG_RESULT = 2
+TAG_STOP = 3
+
+NTASKS = 60
+TASK_BYTES = 2048
+
+
+def make_tasks():
+    rng = np.random.default_rng(4016)  # the report number
+    return [rng.standard_normal(TASK_BYTES // 8) for _ in range(NTASKS)]
+
+
+def program(mpi):
+    comm = mpi.comm_world
+    if comm.rank == 0:
+        # ------------------------------------------------ master ----------
+        tasks = make_tasks()
+        results = {}
+        completed_by = {}
+        next_task = 0
+        outstanding = 0
+        # Prime every worker with one task.
+        for worker in range(1, comm.size):
+            if next_task < len(tasks):
+                yield from comm.send((next_task, tasks[next_task]),
+                                     dest=worker, tag=TAG_WORK)
+                next_task += 1
+                outstanding += 1
+        # Hand out the rest as results come back, from whoever is ready.
+        while outstanding:
+            (task_id, value), status = yield from comm.recv(
+                source=ANY_SOURCE, tag=TAG_RESULT)
+            results[task_id] = value
+            completed_by.setdefault(status.source, 0)
+            completed_by[status.source] += 1
+            outstanding -= 1
+            if next_task < len(tasks):
+                yield from comm.send((next_task, tasks[next_task]),
+                                     dest=status.source, tag=TAG_WORK)
+                next_task += 1
+                outstanding += 1
+        for worker in range(1, comm.size):
+            yield from comm.send(None, dest=worker, tag=TAG_STOP)
+        return results, completed_by
+    # ---------------------------------------------------- worker ----------
+    done = 0
+    while True:
+        # Either a work unit or a stop marker may arrive: probe the tag.
+        status = yield from comm.probe(source=0)
+        if status.tag == TAG_STOP:
+            yield from comm.recv(source=0, tag=TAG_STOP)
+            return done
+        (task_id, payload), _ = yield from comm.recv(source=0, tag=TAG_WORK)
+        value = float(np.sum(payload ** 2))  # the "work"
+        yield from comm.send((task_id, value), dest=0, tag=TAG_RESULT)
+        done += 1
+
+
+def main():
+    # Rank 0 (master) on an SCI node; workers on both islands.
+    config = cluster_of_clusters(sci_nodes=2, myrinet_nodes=2)
+    world = MPIWorld(config)
+    outputs = world.run(program)
+    results, completed_by = outputs[0]
+
+    tasks = make_tasks()
+    expected = {i: float(np.sum(t ** 2)) for i, t in enumerate(tasks)}
+    assert results == expected, "task results diverged from serial reference"
+    print(f"all {NTASKS} tasks verified against the serial reference")
+
+    names = [node.name for node in config.nodes]
+    print("\ntasks completed per worker:")
+    for worker in range(1, config.world_size):
+        route = "SCI" if worker == 1 else "TCP (cross-island)"
+        print(f"  rank {worker} ({names[worker]:6s}, reached via {route:18s}): "
+              f"{completed_by.get(worker, 0):3d}")
+    print(f"\nsimulated time: {world.engine.now / 1e6:.2f} ms")
+
+    # The SCI-local worker gets work faster, so it completes more tasks.
+    sci_worker = completed_by.get(1, 0)
+    tcp_workers = max(completed_by.get(w, 0) for w in (2, 3))
+    print(f"\nSCI worker completed {sci_worker} vs best cross-island "
+          f"worker {tcp_workers}: cheap round-trips win more work — the "
+          "load balance follows the network topology.")
+    assert sci_worker > tcp_workers
+
+
+if __name__ == "__main__":
+    main()

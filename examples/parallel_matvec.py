@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Parallel matrix-vector product with Allgather (row decomposition).
+
+The classic mpi4py-tutorial kernel: each rank owns a block of rows of A
+and the matching slice of x; one Allgather assembles the full vector,
+then every rank computes its local rows.  Run on dual-processor SMP
+nodes so the Allgather ring exercises smp_plug (intra-node) and ch_mad
+(inter-node) in a single collective — the paper's Figure 3 stack end to
+end.
+
+Run:  python examples/parallel_matvec.py
+"""
+
+import numpy as np
+
+from repro.cluster import MPIWorld, smp_node_cluster
+
+N = 512          # global matrix dimension
+SEED = 20001001  # the report's publication month
+
+
+def make_problem(size: int):
+    rng = np.random.default_rng(SEED)
+    A = rng.standard_normal((N, N))
+    x = rng.standard_normal(N)
+    return A, x
+
+
+def program(mpi):
+    comm = mpi.comm_world
+    rank, size = comm.rank, comm.size
+    assert N % size == 0
+    local_rows = N // size
+
+    A, x = make_problem(size)
+    local_A = A[rank * local_rows:(rank + 1) * local_rows]
+    local_x = x[rank * local_rows:(rank + 1) * local_rows].copy()
+
+    xg = np.zeros(N)
+    yield from comm.Allgather(local_x, xg)
+    local_y = local_A @ xg
+
+    y = np.zeros(N) if rank == 0 else None
+    yield from comm.Gather(local_y, y, root=0)
+    if rank == 0:
+        return y
+    return None
+
+
+def main():
+    config = smp_node_cluster(nodes=2, processes_per_node=2,
+                              networks=("sisci",))
+    world = MPIWorld(config)
+    results = world.run(program)
+
+    A, x = make_problem(config.world_size)
+    expected = A @ x
+    error = float(np.max(np.abs(results[0] - expected)))
+    print(f"N = {N}, ranks = {config.world_size} "
+          f"(2 SMP nodes x 2 processors, SCI between nodes)")
+    print(f"max |parallel - serial| = {error:.2e}")
+    assert error < 1e-9
+
+    print(f"simulated time: {world.engine.now / 1e6:.3f} ms")
+    sci = world.session.fabrics["sisci"]
+    print(f"SCI messages: {sum(a.messages_received for a in sci.adapters)} "
+          "(inter-node only; intra-node slices moved through smp_plug)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""mpptest-style ping-pong CLI over the simulated stack.
+
+Sweep message sizes on a chosen network/device and print latency and
+bandwidth — the measurement program behind every figure of the paper
+(§5.1).
+
+Usage:
+  python examples/pingpong.py                      # ch_mad over SCI
+  python examples/pingpong.py --network bip
+  python examples/pingpong.py --device ch_p4       # the TCP baseline
+  python examples/pingpong.py --network sisci --secondary tcp   # Fig. 9
+  python examples/pingpong.py --raw --network tcp  # raw Madeleine
+"""
+
+import argparse
+
+from repro.bench.pingpong import mpi_pingpong
+from repro.bench.raw_madeleine import raw_madeleine_pingpong
+from repro.bench.report import format_table
+from repro.bench.sweeps import BANDWIDTH_SWEEP_SIZES, LATENCY_SWEEP_SIZES
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--network", default="sisci",
+                        choices=["tcp", "sisci", "bip"],
+                        help="network carrying the traffic")
+    parser.add_argument("--device", default="ch_mad",
+                        choices=["ch_mad", "ch_p4"])
+    parser.add_argument("--secondary", default=None,
+                        choices=["tcp", "sisci", "bip"],
+                        help="additional idle-but-polled network (Fig. 9)")
+    parser.add_argument("--raw", action="store_true",
+                        help="measure raw Madeleine instead of MPI")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None)
+    parser.add_argument("--reps", type=int, default=5)
+    args = parser.parse_args()
+
+    sizes = args.sizes or sorted(set(LATENCY_SWEEP_SIZES)
+                                 | set(BANDWIDTH_SWEEP_SIZES))
+    rows = []
+    for size in sizes:
+        reps = max(2, args.reps if size < 256 * 1024 else 2)
+        if args.raw:
+            result = raw_madeleine_pingpong(args.network, size, reps=reps)
+        else:
+            networks = (args.network,)
+            if args.secondary:
+                networks = (args.network, args.secondary)
+            result = mpi_pingpong(size, networks=networks,
+                                  device=args.device,
+                                  active_network=args.network, reps=reps)
+        rows.append((size, f"{result.latency_us:.2f}",
+                     f"{result.bandwidth_mb_s:.2f}"))
+
+    label = ("raw Madeleine" if args.raw else args.device)
+    extra = f" (+{args.secondary} polling thread)" if args.secondary else ""
+    print(format_table(
+        ["size (B)", "one-way (us)", "bandwidth (MB/s)"], rows,
+        title=f"{label} over {args.network}{extra}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Inspect a run with the tracing and analysis tools.
+
+Runs a small mixed-traffic program on a two-network cluster with tracing
+enabled, then prints the full analysis: CPU attribution per thread
+(watch the TCP poller burn select() cycles), per-network traffic, the
+ch_mad packet mix (eager vs the three-step rendezvous), and a text
+timeline of deliveries.
+
+Run:  python examples/trace_analysis.py
+"""
+
+import numpy as np
+
+from repro.bench.timeline import full_report
+from repro.cluster import MPIWorld, two_node_cluster
+from repro.mpi.reduce_ops import SUM
+
+
+def program(mpi):
+    comm = mpi.comm_world
+    # A little of everything: eager traffic, a rendezvous, a collective.
+    for round_ in range(4):
+        if comm.rank == 0:
+            yield from comm.send(b"", dest=1, tag=1, size=512)
+            yield from comm.recv(source=1, tag=2)
+        else:
+            yield from comm.recv(source=0, tag=1)
+            yield from comm.send(b"", dest=0, tag=2, size=512)
+    if comm.rank == 0:
+        yield from comm.send(np.zeros(8192), dest=1, tag=3)  # rendezvous
+    else:
+        yield from comm.recv(source=0, tag=3)
+    total = yield from comm.allreduce(comm.rank + 1, op=SUM)
+    assert total == 3
+
+
+def main():
+    world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))
+    tracer = world.engine.enable_tracing()
+    world.run(program)
+    print(f"simulated {world.engine.now / 1000:.1f} us, "
+          f"{world.engine.events_executed} events, "
+          f"{len(tracer.records)} trace records\n")
+    print(full_report(world))
+    print("\nReading guide: the TCP polling thread shows up prominently in "
+          "CPU attribution\ndespite carrying zero messages (all traffic "
+          "chose the SCI channel) — the\nFigure 9 effect, visible per "
+          "thread; the packet mix shows one REQUEST/SENDOK/\nRNDV triple "
+          "for the single 64 KB rendezvous among the eager SHORT packets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+setuptools develop path, which needs neither network nor wheel.
+"""
+
+from setuptools import setup
+
+setup()

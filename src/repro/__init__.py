@@ -1,0 +1,41 @@
+"""repro — a reproduction of *MPICH/Madeleine: a True Multi-Protocol MPI
+for High Performance Networks* (Aumage, Mercier, Namyst; INRIA RR-4016 /
+IPPS 2001).
+
+The package implements the paper's full software stack on top of a
+deterministic discrete-event cluster simulator:
+
+- :mod:`repro.sim` — discrete-event kernel (clock, CPUs, coroutine tasks).
+- :mod:`repro.marcel` — user-level threads and network polling (Marcel).
+- :mod:`repro.networks` — calibrated models of TCP/Fast-Ethernet,
+  SISCI/SCI and BIP/Myrinet NICs and links.
+- :mod:`repro.madeleine` — the Madeleine II multi-protocol communication
+  library (channels, connections, EXPRESS/CHEAPER packing).
+- :mod:`repro.mpi` — an MPICH-like MPI implementation: generic layer,
+  ADI, and the ch_self / smp_plug / ch_p4 / **ch_mad** devices.
+- :mod:`repro.cluster` — node/topology/session construction; runs MPI
+  programs written as Python generator coroutines.
+- :mod:`repro.baselines` — analytic models of the paper's closed-source
+  comparators (ScaMPI, SCI-MPICH, MPI-GM, MPICH-PM).
+- :mod:`repro.bench` — the mpptest-equivalent measurement harness and the
+  per-figure/table experiment drivers.
+
+Quickstart::
+
+    from repro.cluster import MPIWorld
+    from repro.cluster.config import paper_cluster
+
+    def program(mpi):
+        comm = mpi.comm_world
+        if comm.rank == 0:
+            yield from comm.send(b"hello", dest=1, tag=7)
+        elif comm.rank == 1:
+            msg, status = yield from comm.recv(source=0, tag=7)
+
+    world = MPIWorld(paper_cluster(nodes=2, networks=("sisci", "tcp")))
+    world.run(program)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

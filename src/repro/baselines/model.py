@@ -1,0 +1,60 @@
+"""Piecewise analytic ping-pong model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.units import MB_DECIMAL, SECOND, to_us
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One size regime: t(n) = overhead_us + n * per_byte_ns, n <= upto."""
+
+    upto: int            # inclusive upper bound in bytes (use 2**62 for inf)
+    overhead_us: float
+    per_byte_ns: float
+
+
+class AnalyticMPIModel:
+    """One comparator MPI as a one-way-time curve over message size."""
+
+    def __init__(self, name: str, network: str, segments: Sequence[Segment],
+                 source: str):
+        if not segments:
+            raise ValueError("need at least one segment")
+        bounds = [s.upto for s in segments]
+        if bounds != sorted(bounds):
+            raise ValueError("segments must be sorted by upper bound")
+        self.name = name
+        #: Which paper network this model rides ("sisci" or "bip").
+        self.network = network
+        self.segments = tuple(segments)
+        #: Provenance note (which figure the calibration came from).
+        self.source = source
+
+    def segment_for(self, size: int) -> Segment:
+        for segment in self.segments:
+            if size <= segment.upto:
+                return segment
+        return self.segments[-1]
+
+    def one_way_ns(self, size: int) -> int:
+        """Modelled one-way transfer time for a ``size``-byte message."""
+        if size < 0:
+            raise ValueError("negative message size")
+        segment = self.segment_for(size)
+        return round(segment.overhead_us * 1000 + size * segment.per_byte_ns)
+
+    def latency_us(self, size: int) -> float:
+        return to_us(self.one_way_ns(size))
+
+    def bandwidth_mb_s(self, size: int) -> float:
+        """Bandwidth in the paper's MB/s (10^6 bytes)."""
+        if size == 0:
+            return 0.0
+        return (size / MB_DECIMAL) / (self.one_way_ns(size) / SECOND)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AnalyticMPIModel {self.name} over {self.network}>"

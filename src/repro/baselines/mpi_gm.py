@@ -1,0 +1,21 @@
+"""MPI-GM (MPICH-GM) — Myricom's MPI over GM 1.2.3 (paper ref [1]).
+
+Calibrated to Figure 8 on the paper's 32-bit LANai-4 hardware: moderate
+small-message latency (~25 us, worse than ch_mad below 512 B), flat
+per-byte cost that wins the 512 B–1 KB latency range once ch_mad hits
+BIP's 1 KB long-message handshake, but a weak large-message path
+("definitely outperformed by both ch_mad and MPICH-PM") topping out
+around 47 MB/s.
+"""
+
+from repro.baselines.model import AnalyticMPIModel, Segment
+
+MPI_GM = AnalyticMPIModel(
+    name="MPI-GM",
+    network="bip",
+    segments=[
+        Segment(upto=4 * 1024, overhead_us=25.0, per_byte_ns=19.0),
+        Segment(upto=2**62, overhead_us=35.0, per_byte_ns=21.0),
+    ],
+    source="paper Figure 8 (a) and (b)",
+)

@@ -1,0 +1,22 @@
+"""MPICH-PM/SCore — RWCP's zero-copy MPI over PM (paper ref [13]).
+
+Calibrated to Figure 8 (measured on RWC PC Cluster II, Pentium Pro 200,
+§5.4): ~5 us ahead of ch_mad at small sizes, ahead below 4 KB and above
+256 KB, roughly equal in between, with a ~118 MB/s zero-copy asymptote.
+"""
+
+from repro.baselines.model import AnalyticMPIModel, Segment
+
+MPICH_PM = AnalyticMPIModel(
+    name="MPICH-PM",
+    network="bip",
+    segments=[
+        # small: lean eager path, ~5 us below ch_mad's 20 us
+        Segment(upto=4 * 1024, overhead_us=15.0, per_byte_ns=10.0),
+        # middle: comparable to ch_mad's rendezvous
+        Segment(upto=256 * 1024, overhead_us=40.0, per_byte_ns=8.9),
+        # large: slightly ahead again (~118 MB/s)
+        Segment(upto=2**62, overhead_us=60.0, per_byte_ns=8.4),
+    ],
+    source="paper Figure 8 (a) and (b)",
+)

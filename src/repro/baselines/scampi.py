@@ -1,0 +1,23 @@
+"""ScaMPI — Scali's commercial MPI over SCI (paper ref [2]).
+
+Calibrated to Figure 7: very low small-message latency (~6 us, it is
+implemented directly on the SCI hardware), solid mid-range bandwidth,
+but a large-message ceiling near 62 MB/s that ch_mad's zero-copy
+rendezvous overtakes from 16 KB upwards.
+"""
+
+from repro.baselines.model import AnalyticMPIModel, Segment
+
+SCAMPI = AnalyticMPIModel(
+    name="ScaMPI",
+    network="sisci",
+    segments=[
+        # tiny messages: hardware-tuned fast path
+        Segment(upto=512, overhead_us=6.0, per_byte_ns=18.0),
+        # eager with copies
+        Segment(upto=32 * 1024, overhead_us=7.5, per_byte_ns=16.2),
+        # large: pipelined, ~62 MB/s asymptote
+        Segment(upto=2**62, overhead_us=20.0, per_byte_ns=16.0),
+    ],
+    source="paper Figure 7 (a) and (b)",
+)

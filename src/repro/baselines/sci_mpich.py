@@ -1,0 +1,19 @@
+"""SCI-MPICH — RWTH Aachen's ch_smi device over SCI (paper ref [17]).
+
+Calibrated to Figure 7: latency between ScaMPI's and ch_mad's (~12 us),
+bandwidth ceiling slightly below ScaMPI's (~57 MB/s), also overtaken by
+ch_mad's rendezvous beyond 16 KB.
+"""
+
+from repro.baselines.model import AnalyticMPIModel, Segment
+
+SCI_MPICH = AnalyticMPIModel(
+    name="SCI-MPICH",
+    network="sisci",
+    segments=[
+        Segment(upto=1024, overhead_us=12.0, per_byte_ns=19.0),
+        Segment(upto=64 * 1024, overhead_us=15.0, per_byte_ns=17.5),
+        Segment(upto=2**62, overhead_us=30.0, per_byte_ns=17.3),
+    ],
+    source="paper Figure 7 (a) and (b)",
+)

@@ -1,0 +1,34 @@
+"""Benchmark harness — the reproduction's equivalent of mpptest (§5.1).
+
+All measurements are ping-pongs between two simulated processes: the
+reported latency is half the best round-trip over several repetitions,
+exactly like the paper's mpptest runs; bandwidth is payload bytes over
+one-way time, with 1 MB = 10^6 bytes (§5.1).
+
+Entry points:
+
+- :func:`~repro.bench.raw_madeleine.raw_madeleine_pingpong` — Madeleine
+  alone, one pack per message (the paper's ``raw_Madeleine`` curves).
+- :func:`~repro.bench.pingpong.mpi_pingpong` — through the full MPI
+  stack with a chosen device (``ch_mad``, ``ch_p4``) and network mix.
+- :mod:`~repro.bench.sweeps` — the paper's message-size grids.
+- :mod:`~repro.bench.figures` — one series builder per table/figure.
+- :mod:`~repro.bench.report` — formatting of paper-vs-measured rows.
+"""
+
+from repro.bench.pingpong import PingPongResult, mpi_pingpong
+from repro.bench.raw_madeleine import raw_madeleine_pingpong
+from repro.bench.sweeps import (
+    LATENCY_SWEEP_SIZES,
+    BANDWIDTH_SWEEP_SIZES,
+    sweep,
+)
+
+__all__ = [
+    "BANDWIDTH_SWEEP_SIZES",
+    "LATENCY_SWEEP_SIZES",
+    "PingPongResult",
+    "mpi_pingpong",
+    "raw_madeleine_pingpong",
+    "sweep",
+]

@@ -1,0 +1,206 @@
+"""One builder per paper table/figure (the experiment index of DESIGN.md).
+
+Each builder runs the relevant simulated measurements (and evaluates the
+analytic baselines where the paper used vendor-furnished curves) and
+returns structured data; the ``benchmarks/`` suite asserts the paper's
+shape statements against these, and ``examples/reproduce_paper.py``
+prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import MPICH_PM, MPI_GM, SCAMPI, SCI_MPICH
+from repro.bench.pingpong import PingPongResult, mpi_pingpong
+from repro.bench.raw_madeleine import raw_madeleine_pingpong
+from repro.bench.sweeps import (
+    BANDWIDTH_SWEEP_SIZES,
+    LATENCY_SWEEP_SIZES,
+    TABLE_BANDWIDTH_SIZE,
+    TABLE_LATENCY_SIZES,
+)
+from repro.bench.report import FigureData, PaperCheck
+
+#: Paper Table 1 values (raw Madeleine).
+TABLE1_PAPER = {
+    "tcp": {"latency_us": 121.0, "bandwidth_mb_s": 11.2},
+    "bip": {"latency_us": 9.2, "bandwidth_mb_s": 122.0},
+    "sisci": {"latency_us": 4.4, "bandwidth_mb_s": 82.6},
+}
+
+#: Paper Table 2 values (ch_mad).
+TABLE2_PAPER = {
+    "tcp": {"lat0_us": 130.0, "lat4_us": 148.7, "bandwidth_mb_s": 11.2},
+    "bip": {"lat0_us": 16.9, "lat4_us": 18.9, "bandwidth_mb_s": 115.0},
+    "sisci": {"lat0_us": 13.0, "lat4_us": 20.0, "bandwidth_mb_s": 82.5},
+}
+
+
+def _bw_reps(size: int) -> int:
+    """Fewer repetitions for huge messages (deterministic sim anyway)."""
+    return 2 if size >= 1024 * 1024 else 3
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table1_raw_madeleine() -> dict[str, dict[str, float]]:
+    """Reproduce Table 1: raw Madeleine latency and 8 MB bandwidth."""
+    out: dict[str, dict[str, float]] = {}
+    for protocol in ("tcp", "bip", "sisci"):
+        lat = raw_madeleine_pingpong(protocol, 4)
+        bw = raw_madeleine_pingpong(protocol, TABLE_BANDWIDTH_SIZE,
+                                    reps=2, warmup=1)
+        out[protocol] = {
+            "latency_us": lat.latency_us,
+            "bandwidth_mb_s": bw.bandwidth_mb_s,
+        }
+    return out
+
+
+def table1_checks() -> list[PaperCheck]:
+    measured = table1_raw_madeleine()
+    checks = []
+    for protocol, paper in TABLE1_PAPER.items():
+        for key, value in paper.items():
+            checks.append(PaperCheck(
+                quantity=f"{protocol}.{key}", paper=value,
+                measured=measured[protocol][key],
+            ))
+    return checks
+
+
+def table2_summary() -> dict[str, dict[str, float]]:
+    """Reproduce Table 2: ch_mad 0/4-byte latency and 8 MB bandwidth."""
+    out: dict[str, dict[str, float]] = {}
+    for protocol in ("tcp", "bip", "sisci"):
+        lat0 = mpi_pingpong(0, networks=(protocol,), reps=7)
+        lat4 = mpi_pingpong(4, networks=(protocol,), reps=7)
+        bw = mpi_pingpong(TABLE_BANDWIDTH_SIZE, networks=(protocol,),
+                          reps=2, warmup=1)
+        out[protocol] = {
+            "lat0_us": lat0.latency_us,
+            "lat4_us": lat4.latency_us,
+            "bandwidth_mb_s": bw.bandwidth_mb_s,
+        }
+    return out
+
+
+def table2_checks() -> list[PaperCheck]:
+    measured = table2_summary()
+    checks = []
+    for protocol, paper in TABLE2_PAPER.items():
+        for key, value in paper.items():
+            checks.append(PaperCheck(
+                quantity=f"{protocol}.{key}", paper=value,
+                measured=measured[protocol][key],
+            ))
+    return checks
+
+
+# ---------------------------------------------------------------------------
+# Figures 6-8: one network each, simulated devices + analytic baselines
+# ---------------------------------------------------------------------------
+
+def _measure_series(figure: FigureData, label: str, sizes: Sequence[int],
+                    measure) -> None:
+    series = figure.new_series(label)
+    for size in sizes:
+        result: PingPongResult = measure(size)
+        series.add(size, result.latency_us, result.bandwidth_mb_s)
+
+
+def _baseline_series(figure: FigureData, model, sizes: Sequence[int]) -> None:
+    series = figure.new_series(model.name)
+    for size in sizes:
+        series.add(size, model.latency_us(size), model.bandwidth_mb_s(size))
+    figure.notes.append(
+        f"{model.name} is an analytic model calibrated to {model.source}"
+    )
+
+
+def figure6_tcp(sizes: Sequence[int] | None = None) -> FigureData:
+    """Figure 6: ch_mad vs ch_p4 vs raw Madeleine on TCP/Fast-Ethernet."""
+    sizes = tuple(sizes or sorted(set(LATENCY_SWEEP_SIZES)
+                                  | set(BANDWIDTH_SWEEP_SIZES)))
+    figure = FigureData("Figure 6", "TCP/Fast-Ethernet: ch_mad vs ch_p4")
+    _measure_series(figure, "ch_mad", sizes,
+                    lambda n: mpi_pingpong(n, networks=("tcp",),
+                                           reps=7 if n <= 4096 else _bw_reps(n)))
+    _measure_series(figure, "ch_p4", sizes,
+                    lambda n: mpi_pingpong(n, device="ch_p4",
+                                           reps=7 if n <= 4096 else _bw_reps(n)))
+    _measure_series(figure, "raw_Madeleine", sizes,
+                    lambda n: raw_madeleine_pingpong("tcp", n,
+                                                     reps=_bw_reps(n)))
+    return figure
+
+
+def figure7_sci(sizes: Sequence[int] | None = None) -> FigureData:
+    """Figure 7: ch_mad vs ScaMPI vs SCI-MPICH vs raw Madeleine on SCI.
+
+    The default grid adds 2 KB and 8 KB points so the 8 KB switch-point
+    knee of §4.2.2 is visible.
+    """
+    sizes = tuple(sizes or sorted(set(LATENCY_SWEEP_SIZES)
+                                  | set(BANDWIDTH_SWEEP_SIZES)
+                                  | {2048, 8192, 12288}))
+    figure = FigureData("Figure 7", "SISCI/SCI: ch_mad vs native SCI MPIs")
+    _measure_series(figure, "ch_mad", sizes,
+                    lambda n: mpi_pingpong(n, networks=("sisci",),
+                                           reps=_bw_reps(n) + 1))
+    _baseline_series(figure, SCAMPI, sizes)
+    _baseline_series(figure, SCI_MPICH, sizes)
+    _measure_series(figure, "raw_Madeleine", sizes,
+                    lambda n: raw_madeleine_pingpong("sisci", n,
+                                                     reps=_bw_reps(n)))
+    return figure
+
+
+def figure8_myrinet(sizes: Sequence[int] | None = None) -> FigureData:
+    """Figure 8: ch_mad vs raw Madeleine vs MPI-GM vs MPICH-PM on Myrinet."""
+    sizes = tuple(sizes or sorted(set(LATENCY_SWEEP_SIZES)
+                                  | set(BANDWIDTH_SWEEP_SIZES)))
+    figure = FigureData("Figure 8", "BIP/Myrinet: ch_mad vs GM/PM MPIs")
+    _measure_series(figure, "ch_mad", sizes,
+                    lambda n: mpi_pingpong(n, networks=("bip",),
+                                           reps=_bw_reps(n) + 1))
+    _measure_series(figure, "raw_Madeleine", sizes,
+                    lambda n: raw_madeleine_pingpong("bip", n,
+                                                     reps=_bw_reps(n)))
+    _baseline_series(figure, MPI_GM, sizes)
+    _baseline_series(figure, MPICH_PM, sizes)
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: multi-protocol polling interference
+# ---------------------------------------------------------------------------
+
+def figure9_multiprotocol(sizes: Sequence[int] | None = None,
+                          reps: int = 9) -> FigureData:
+    """Figure 9: SCI alone vs SCI with an active TCP polling thread.
+
+    All traffic rides SCI; the TCP channel exists (and is polled) in the
+    second configuration only.  Interference is a *distributional*
+    effect, so this figure reports mean (not min) one-way times — the
+    note records that convention.
+    """
+    sizes = tuple(sizes or sorted(set(LATENCY_SWEEP_SIZES)
+                                  | set(BANDWIDTH_SWEEP_SIZES)))
+    figure = FigureData("Figure 9", "SCI alone vs SCI + TCP polling thread")
+    alone = figure.new_series("SCI_thread_only")
+    both = figure.new_series("SCI_thread_+_TCP_thread")
+    for size in sizes:
+        r = mpi_pingpong(size, networks=("sisci",), reps=reps)
+        alone.add(size, r.mean_latency_us, r.mean_bandwidth_mb_s)
+        r = mpi_pingpong(size, networks=("sisci", "tcp"),
+                         active_network="sisci", reps=reps)
+        both.add(size, r.mean_latency_us, r.mean_bandwidth_mb_s)
+    figure.notes.append(
+        "mean (not min) one-way times: polling interference is a "
+        "distributional effect that min-of-reps would hide"
+    )
+    return figure

@@ -1,0 +1,128 @@
+"""Formatting of benchmark output: tables, series, paper-vs-measured."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Plain-text table with aligned columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PaperCheck:
+    """One paper-vs-measured comparison row."""
+
+    quantity: str
+    paper: float
+    measured: float
+    unit: str = ""
+    #: Acceptable relative deviation (the reproduction targets shape, not
+    #: exact numbers; anchors are typically within ~10 %).
+    tolerance: float = 0.15
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return 1.0 if self.measured == 0 else float("inf")
+        return self.measured / self.paper
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+
+def format_paper_checks(checks: Sequence[PaperCheck], title: str) -> str:
+    rows = [
+        (c.quantity, f"{c.paper:g}{c.unit}", f"{c.measured:.2f}{c.unit}",
+         f"{c.ratio:.2f}x", "ok" if c.ok else "DEVIATES")
+        for c in checks
+    ]
+    return format_table(
+        ["quantity", "paper", "measured", "ratio", "verdict"], rows,
+        title=title,
+    )
+
+
+@dataclass
+class Series:
+    """One curve of a figure: per-size latency and bandwidth values."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+    latency_us: list[float] = field(default_factory=list)
+    bandwidth_mb_s: list[float] = field(default_factory=list)
+
+    def add(self, size: int, latency_us: float, bandwidth: float) -> None:
+        self.sizes.append(size)
+        self.latency_us.append(latency_us)
+        self.bandwidth_mb_s.append(bandwidth)
+
+    def at(self, size: int) -> tuple[float, float]:
+        """(latency_us, bandwidth) at an exact swept size."""
+        i = self.sizes.index(size)
+        return self.latency_us[i], self.bandwidth_mb_s[i]
+
+
+@dataclass
+class FigureData:
+    """All series of one paper figure (both (a) and (b) panels)."""
+
+    figure_id: str
+    title: str
+    series: dict[str, Series] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        series = Series(label)
+        self.series[label] = series
+        return series
+
+    def render(self, panel: str = "both") -> str:
+        """Plain-text rendering of the figure's data."""
+        blocks = [f"== {self.figure_id}: {self.title} =="]
+        labels = list(self.series)
+        if panel in ("a", "both"):
+            sizes = self.series[labels[0]].sizes
+            rows = []
+            for i, size in enumerate(sizes):
+                rows.append([size] + [self.series[l].latency_us[i]
+                                      for l in labels])
+            blocks.append(format_table(
+                ["size(B)"] + [f"{l} (us)" for l in labels], rows,
+                title="(a) transfer time",
+            ))
+        if panel in ("b", "both"):
+            sizes = self.series[labels[0]].sizes
+            rows = []
+            for i, size in enumerate(sizes):
+                rows.append([size] + [self.series[l].bandwidth_mb_s[i]
+                                      for l in labels])
+            blocks.append(format_table(
+                ["size(B)"] + [f"{l} (MB/s)" for l in labels], rows,
+                title="(b) bandwidth",
+            ))
+        for note in self.notes:
+            blocks.append(f"note: {note}")
+        return "\n\n".join(blocks)

@@ -1,0 +1,37 @@
+"""Message-size grids matching the paper's figures.
+
+The transfer-time plots (Figures 6a/7a/8a/9a) sweep 1 B – 1 KB; the
+bandwidth plots (6b/7b/8b/9b) sweep 1 B – 1 MB on a power-of-four-ish
+grid; Tables 1 and 2 anchor 0 B / 4 B latency and 8 MB bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.pingpong import PingPongResult
+
+#: Figure "(a)" x-axis: 1 B .. 1 KB.
+LATENCY_SWEEP_SIZES: tuple[int, ...] = (1, 4, 16, 64, 256, 1024)
+
+#: Figure "(b)" x-axis: 1 B .. 1 MB.
+BANDWIDTH_SWEEP_SIZES: tuple[int, ...] = (
+    1, 4, 16, 64, 256,
+    1024, 4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024,
+)
+
+#: Extra points so curve knees (switch points at 7/8/64 KB) are visible.
+DETAILED_BANDWIDTH_SIZES: tuple[int, ...] = (
+    1, 4, 16, 64, 256, 512,
+    1024, 2048, 4096, 6144, 8192, 12288, 16384,
+    32768, 65536, 131072, 262144, 524288, 1048576,
+)
+
+TABLE_LATENCY_SIZES: tuple[int, ...] = (0, 4)
+TABLE_BANDWIDTH_SIZE: int = 8 * 1000 * 1000  # "8 MB message", MB = 10^6
+
+
+def sweep(measure: Callable[[int], PingPongResult],
+          sizes: Sequence[int]) -> list[PingPongResult]:
+    """Run ``measure`` across ``sizes`` and collect the results."""
+    return [measure(size) for size in sizes]

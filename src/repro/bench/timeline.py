@@ -1,0 +1,83 @@
+"""Post-mortem analysis of traced simulations.
+
+Turns a :class:`~repro.sim.trace.Tracer` record stream plus the per-task
+CPU accounting into human-readable summaries: who burned the CPU, what
+travelled on each network, and a coarse text timeline of message
+activity.  The MPE/jumpshot of this reproduction, at terminal scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.bench.report import format_table
+from repro.sim.trace import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.session import MPIWorld
+
+
+def cpu_report(world: "MPIWorld") -> str:
+    """Per-thread CPU time per rank, from Task.cpu_time accounting."""
+    rows = []
+    for env in world.envs:
+        cpu = env.process.runtime.cpu
+        for task in cpu.tasks():
+            if task.cpu_time == 0:
+                continue
+            share = task.cpu_time / max(cpu.busy_time, 1)
+            rows.append((env.rank, task.name.split(".", 1)[-1],
+                         task.cpu_time / 1000, f"{100 * share:.1f}%"))
+    rows.sort(key=lambda r: -r[2])
+    return format_table(["rank", "thread", "cpu (us)", "share of busy"],
+                        rows, title="CPU attribution")
+
+
+def network_report(world: "MPIWorld") -> str:
+    """Per-fabric message and byte counters."""
+    rows = []
+    for name, fabric in sorted(world.session.fabrics.items()):
+        messages = sum(a.messages_received for a in fabric.adapters)
+        payload = sum(a.bytes_received for a in fabric.adapters)
+        rows.append((name, len(fabric.adapters), messages, payload))
+    return format_table(["network", "adapters", "messages", "bytes"],
+                        rows, title="Network traffic")
+
+
+def packet_mix(records: Iterable[TraceRecord]) -> str:
+    """Breakdown of ch_mad packet kinds (needs tracing enabled)."""
+    counts = Counter(r["pkt"] for r in records if r.category == "chmad.send")
+    rows = sorted(counts.items(), key=lambda kv: -kv[1])
+    return format_table(["packet", "count"], rows, title="ch_mad packet mix")
+
+
+def message_timeline(records: Iterable[TraceRecord], bucket_us: int = 100,
+                     width: int = 50) -> str:
+    """A coarse text histogram of network deliveries over time."""
+    deliveries = [r for r in records if r.category == "net.deliver"]
+    if not deliveries:
+        return "(no deliveries traced)"
+    bucket_ns = bucket_us * 1000
+    buckets: dict[int, Counter] = defaultdict(Counter)
+    for record in deliveries:
+        buckets[record.time // bucket_ns][record["fabric"]] += 1
+    peak = max(sum(c.values()) for c in buckets.values())
+    lines = [f"deliveries per {bucket_us} us bucket "
+             f"(#=messages, peak={peak}):"]
+    for b in range(min(buckets), max(buckets) + 1):
+        total = sum(buckets[b].values())
+        bar = "#" * round(width * total / peak) if peak else ""
+        mix = ",".join(f"{k}:{v}" for k, v in sorted(buckets[b].items()))
+        lines.append(f"  {b * bucket_us:7d} us |{bar:<{width}}| {mix}")
+    return "\n".join(lines)
+
+
+def full_report(world: "MPIWorld") -> str:
+    """Everything the tracer and counters know, in one string."""
+    records = getattr(world.engine.tracer, "records", [])
+    parts = [cpu_report(world), network_report(world)]
+    if records:
+        parts.append(packet_mix(records))
+        parts.append(message_timeline(records))
+    return "\n\n".join(parts)

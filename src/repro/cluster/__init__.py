@@ -1,0 +1,30 @@
+"""Cluster construction and MPI program execution.
+
+- :mod:`~repro.cluster.node` — node specifications and cluster configs;
+- :mod:`~repro.cluster.topology` — builders for the paper's hardware
+  setups, including heterogeneous clusters of clusters;
+- :mod:`~repro.cluster.config` — canned configurations used by the
+  benchmarks and examples;
+- :mod:`~repro.cluster.session` — :class:`MPIWorld`, which assembles
+  fabrics, processes, Madeleine channels, devices and MPI environments,
+  and runs program coroutines to completion.
+"""
+
+from repro.cluster.node import ClusterConfig, NodeSpec
+from repro.cluster.session import MPIWorld
+from repro.cluster.config import (
+    cluster_of_clusters,
+    paper_cluster,
+    smp_node_cluster,
+    two_node_cluster,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "MPIWorld",
+    "NodeSpec",
+    "cluster_of_clusters",
+    "paper_cluster",
+    "smp_node_cluster",
+    "two_node_cluster",
+]

@@ -1,0 +1,69 @@
+"""Canned cluster configurations (the paper's hardware setups, §5.1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.node import ClusterConfig, NodeSpec
+
+
+def two_node_cluster(networks: Sequence[str] = ("sisci",),
+                     device: str = "ch_mad",
+                     active_network: str | None = None,
+                     per_network_thresholds: bool = False) -> ClusterConfig:
+    """The paper's measurement setup: two nodes, one rank each.
+
+    ``networks`` lists the boards present (all polled under ch_mad);
+    ``active_network`` steers all traffic onto one of them — the
+    Figure 9 configuration is ``networks=("sisci", "tcp")`` with
+    ``active_network="sisci"``.
+    """
+    networks = tuple(networks)
+    preference = None
+    if active_network is not None:
+        if active_network not in networks:
+            raise ValueError(f"{active_network!r} not among {networks}")
+        preference = (active_network,) + tuple(
+            n for n in networks if n != active_network
+        )
+    nodes = [NodeSpec(f"node{i}", networks=networks) for i in range(2)]
+    return ClusterConfig(nodes=nodes, device=device,
+                         channel_preference=preference,
+                         per_network_thresholds=per_network_thresholds)
+
+
+def paper_cluster(nodes: int = 2, networks: Sequence[str] = ("sisci", "tcp"),
+                  processes_per_node: int = 1,
+                  device: str = "ch_mad") -> ClusterConfig:
+    """A homogeneous cluster of ``nodes`` machines."""
+    specs = [NodeSpec(f"node{i}", networks=tuple(networks),
+                      processes=processes_per_node)
+             for i in range(nodes)]
+    return ClusterConfig(nodes=specs, device=device)
+
+
+def smp_node_cluster(nodes: int = 2, processes_per_node: int = 2,
+                     networks: Sequence[str] = ("sisci",)) -> ClusterConfig:
+    """Dual-processor nodes: exercises ch_self + smp_plug + ch_mad
+    together (the three-device structure of Figure 3)."""
+    specs = [NodeSpec(f"smp{i}", networks=tuple(networks),
+                      processes=processes_per_node)
+             for i in range(nodes)]
+    return ClusterConfig(nodes=specs, device="ch_mad")
+
+
+def cluster_of_clusters(sci_nodes: int = 2, myrinet_nodes: int = 2,
+                        ethernet_everywhere: bool = True) -> ClusterConfig:
+    """The paper's motivating meta-cluster (§1): an SCI cluster and a
+    Myrinet cluster joined by plain Fast-Ethernet.
+
+    Intra-cluster traffic uses the fast network; cross-cluster traffic
+    falls back to TCP — all inside one MPI session, which is the
+    capability no other MPICH of the time had.
+    """
+    base = ("tcp",) if ethernet_everywhere else ()
+    specs = [NodeSpec(f"sci{i}", networks=base + ("sisci",))
+             for i in range(sci_nodes)]
+    specs += [NodeSpec(f"myri{i}", networks=base + ("bip",))
+              for i in range(myrinet_nodes)]
+    return ClusterConfig(nodes=specs, device="ch_mad")

@@ -1,0 +1,89 @@
+"""Node specifications and cluster configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.networks.params import MemoryParams, ProtocolParams
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine in the cluster.
+
+    ``networks`` lists the boards the node has (``"tcp"``, ``"sisci"``,
+    ``"bip"``); ``processes`` is how many MPI ranks run on it (the paper's
+    nodes are dual-processor, so 2 is natural for SMP experiments).
+    """
+
+    name: str
+    networks: tuple[str, ...] = ("tcp",)
+    processes: int = 1
+    #: Native byte order of the node's CPUs ("little" or "big") — the
+    #: ADI converts numeric payloads between mixed-endian nodes.
+    byte_order: str = "little"
+
+    def __post_init__(self) -> None:
+        if self.byte_order not in ("little", "big"):
+            raise ConfigurationError(
+                f"node {self.name}: byte_order must be 'little' or 'big'"
+            )
+        if self.processes < 1:
+            raise ConfigurationError(f"node {self.name}: processes must be >= 1")
+        if len(set(self.networks)) != len(self.networks):
+            raise ConfigurationError(f"node {self.name}: duplicate networks")
+
+
+@dataclass
+class ClusterConfig:
+    """A full cluster + software configuration for one MPI world."""
+
+    nodes: list[NodeSpec]
+    #: Inter-node device: "ch_mad" (the paper) or "ch_p4" (baseline).
+    device: str = "ch_mad"
+    #: Channel-selection preference override (Figure 9: force traffic
+    #: onto one network while others are still polled).
+    channel_preference: tuple[str, ...] | None = None
+    #: Ablation: per-network eager/rendezvous thresholds instead of the
+    #: single elected one.
+    per_network_thresholds: bool = False
+    #: Ablation: padded fixed-size eager bodies instead of the §4.2.2
+    #: header/body split.
+    padded_short_packets: bool = False
+    #: Extension (paper §6 future work): allow pairs with no common
+    #: network to communicate through gateway nodes.
+    forwarding: bool = False
+    #: ADI heterogeneity management (Fig. 1): convert numeric payloads
+    #: between mixed-endian nodes.  Disabling it is an ablation that
+    #: delivers raw foreign bytes.
+    heterogeneity_conversion: bool = True
+    #: Override protocol parameters per network (tests/ablations).
+    protocol_params: dict[str, ProtocolParams] = field(default_factory=dict)
+    #: Node memory model parameters.
+    memory: MemoryParams | None = None
+    #: Marcel context-switch cost (ns).
+    switch_cost: int = 150
+
+    def __post_init__(self) -> None:
+        if self.device not in ("ch_mad", "ch_p4"):
+            raise ConfigurationError(f"unknown device {self.device!r}")
+        if not self.nodes:
+            raise ConfigurationError("cluster needs at least one node")
+        if self.device == "ch_p4":
+            missing = [n.name for n in self.nodes if "tcp" not in n.networks]
+            if missing and len(self.nodes) > 1:
+                raise ConfigurationError(
+                    f"ch_p4 needs TCP on every node; missing on {missing}"
+                )
+
+    @property
+    def world_size(self) -> int:
+        return sum(node.processes for node in self.nodes)
+
+    def node_of_rank(self) -> list[int]:
+        """Node index for every world rank (ranks fill nodes in order)."""
+        mapping = []
+        for index, node in enumerate(self.nodes):
+            mapping.extend([index] * node.processes)
+        return mapping

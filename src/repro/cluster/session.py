@@ -1,0 +1,197 @@
+"""MPIWorld: assemble a cluster and run MPI programs on it.
+
+Construction order (mirrors an MPI launch over the paper's stack):
+
+1. one :class:`~repro.networks.fabric.NetworkFabric` per distinct network;
+2. one :class:`~repro.madeleine.session.MadProcess` per rank, with boards
+   for its node's networks;
+3. one Madeleine channel per protocol, joining every process with that
+   board (ch_mad's one-channel-per-protocol mapping, §4.1);
+4. per rank: an :class:`~repro.mpi.environment.MPIEnv`, its ch_self /
+   smp_plug / inter-node devices, and MPI_COMM_WORLD;
+5. polling threads start (the MPI_Init phase of §4.2.3).
+
+``run(program)`` spawns one main thread per rank executing
+``program(env)`` and drives the event loop until every main returns,
+then performs the MPI_Finalize teardown (stop pollers, kill daemons).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Generator
+
+from repro.errors import DeadlockError
+from repro.madeleine.session import MadeleineSession, MadProcess
+from repro.mpi.devices.ch_mad.device import ChMadDevice
+from repro.mpi.devices.ch_p4 import ChP4Device
+from repro.mpi.devices.ch_self import ChSelfDevice
+from repro.mpi.devices.smp_plug import SmpPlugDevice
+from repro.mpi.environment import MPIEnv
+from repro.cluster.node import ClusterConfig
+from repro.networks.memory import MemoryModel
+from repro.sim.engine import Engine
+
+#: A program is a callable taking the rank's MPIEnv and returning a
+#: generator coroutine.
+Program = Callable[[MPIEnv], Generator]
+
+
+class MPIWorld:
+    """One MPI job on one simulated cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.session = MadeleineSession()
+        self.engine: Engine = self.session.engine
+        self.envs: list[MPIEnv] = []
+        self._build()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        config = self.config
+        node_of_rank = config.node_of_rank()
+        memory = MemoryModel(config.memory) if config.memory else None
+
+        # Fabrics for every network present anywhere (+ TCP for ch_p4).
+        protocols: set[str] = set()
+        for node in config.nodes:
+            protocols.update(node.networks)
+        if config.device == "ch_p4":
+            protocols.add("tcp")
+        for protocol in sorted(protocols):
+            params = config.protocol_params.get(protocol)
+            self.session.add_fabric(protocol, params=params)
+
+        # Processes (ranks fill nodes in order).
+        processes: list[MadProcess] = []
+        for node_index, node in enumerate(config.nodes):
+            for local in range(node.processes):
+                nets = node.networks if config.device == "ch_mad" else ()
+                process = self.session.add_process(
+                    networks=nets,
+                    name=f"{node.name}.p{local}",
+                    memory=memory,
+                    switch_cost=config.switch_cost,
+                )
+                processes.append(process)
+
+        # Madeleine channels: one per protocol with >= 2 members (ch_mad).
+        channels = {}
+        if config.device == "ch_mad":
+            for protocol in sorted(protocols):
+                members = [p.rank for p in processes
+                           if protocol in p.protocols()]
+                if len(members) >= 2:
+                    channels[protocol] = self.session.new_channel(
+                        protocol, protocol, ranks=members
+                    )
+
+        # MPI environments and devices.
+        for process in processes:
+            node = config.nodes[node_of_rank[process.rank]]
+            env = MPIEnv(
+                process, process.rank, node_of_rank,
+                byte_order=node.byte_order,
+                heterogeneity_conversion=config.heterogeneity_conversion,
+            )
+            self.envs.append(env)
+
+        ranks_by_node: dict[int, list[int]] = defaultdict(list)
+        for rank, node_index in enumerate(node_of_rank):
+            ranks_by_node[node_index].append(rank)
+
+        smp_devices: dict[int, SmpPlugDevice] = {}
+        for env in self.envs:
+            self_device = ChSelfDevice(env.progress)
+            smp_device = None
+            if len(ranks_by_node[env.node]) > 1:
+                smp_device = SmpPlugDevice(env.progress, env.rank)
+                smp_devices[env.rank] = smp_device
+            inter_device = self._make_inter_device(env, channels)
+            env.install_devices(self_device, smp_device, inter_device)
+            env.make_comm_world()
+
+        # Wire up smp peers and start everything.
+        for rank, device in smp_devices.items():
+            node = node_of_rank[rank]
+            peers = {r: smp_devices[r] for r in ranks_by_node[node]}
+            device.connect(peers)
+            device.start()
+        for env in self.envs:
+            inter = env.inter_device
+            if isinstance(inter, ChP4Device):
+                inter.connect({e.rank: e.inter_device for e in self.envs
+                               if isinstance(e.inter_device, ChP4Device)})
+            if inter is not None:
+                inter.start()
+
+    def _make_inter_device(self, env: MPIEnv, channels: dict):
+        config = self.config
+        if config.world_size == 1 or len(set(config.node_of_rank())) == 1:
+            # Single node: no inter-node device needed.
+            return None
+        if config.device == "ch_p4":
+            return ChP4Device(env.progress, env.rank,
+                              self.session.fabrics["tcp"])
+        ports = {}
+        for protocol, channel in channels.items():
+            if env.rank in channel.ports:
+                ports[protocol] = channel.port(env.rank)
+        if not ports:
+            return None
+        forward_routes = None
+        if config.forwarding:
+            from repro.cluster.topology import compute_gateway_routes
+            forward_routes = compute_gateway_routes(config).get(env.rank, {})
+        return ChMadDevice(
+            env.progress, env.rank, ports,
+            per_network_thresholds=config.per_network_thresholds,
+            preference=config.channel_preference,
+            forward_routes=forward_routes,
+            padded_short_packets=config.padded_short_packets,
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self, program: Program, max_events: int | None = None) -> list[Any]:
+        """Run ``program(env)`` on every rank; returns per-rank results.
+
+        Raises :class:`DeadlockError` if the event queue drains while some
+        rank's main thread is still blocked (a hung MPI job).
+        """
+        mains = []
+        for env in self.envs:
+            task = env.process.runtime.spawn(program(env),
+                                             name=f"rank{env.rank}.main")
+            mains.append(task)
+        executed = 0
+        while not all(task.finished for task in mains):
+            if max_events is not None and executed >= max_events:
+                raise DeadlockError(
+                    f"exceeded max_events={max_events} with ranks still "
+                    "running", blocked=[t.name for t in mains if not t.finished]
+                )
+            if not self.engine.step():
+                blocked = [t.name for t in mains if not t.finished]
+                raise DeadlockError(
+                    f"MPI job hung: event queue drained with {len(blocked)} "
+                    f"rank(s) still blocked", blocked=blocked
+                )
+            executed += 1
+        self.shutdown()
+        return [task.result for task in mains]
+
+    def shutdown(self) -> None:
+        """MPI_Finalize: stop device polling threads, drain the engine."""
+        for env in self.envs:
+            env.shutdown()
+        self.engine.run()
+
+    @property
+    def world_size(self) -> int:
+        return self.config.world_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MPIWorld size={self.world_size} device={self.config.device}>"

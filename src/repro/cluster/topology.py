@@ -1,0 +1,89 @@
+"""Topology analysis: reachability and gateway routing.
+
+The paper's prototype "is not able to forward packets across
+heterogeneous networks: all nodes have to be connected two-by-two by a
+direct network link" (§6).  These utilities compute, for a given cluster
+configuration, which process pairs have a direct network and which need
+a gateway — the routing input for the forwarding extension
+(:mod:`repro.mpi.devices.ch_mad.forwarding`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.node import ClusterConfig
+from repro.errors import ConfigurationError
+
+
+def networks_of_ranks(config: ClusterConfig) -> list[frozenset[str]]:
+    """Network set of every world rank."""
+    out: list[frozenset[str]] = []
+    for node in config.nodes:
+        for _ in range(node.processes):
+            out.append(frozenset(node.networks))
+    return out
+
+
+def direct_protocols(config: ClusterConfig, a: int, b: int) -> frozenset[str]:
+    """Protocols shared by ranks ``a`` and ``b`` (empty = no direct link)."""
+    nets = networks_of_ranks(config)
+    return nets[a] & nets[b]
+
+
+def reachability_matrix(config: ClusterConfig) -> dict[tuple[int, int], bool]:
+    """Which pairs can communicate directly."""
+    nets = networks_of_ranks(config)
+    size = len(nets)
+    return {
+        (a, b): bool(nets[a] & nets[b])
+        for a in range(size) for b in range(size) if a != b
+    }
+
+
+def compute_gateway_routes(config: ClusterConfig) -> dict[int, dict[int, int]]:
+    """Next-hop table for pairs without a direct network.
+
+    Returns ``routes[src][dst] = next_hop`` for every pair that needs
+    forwarding, computed by BFS over the connected-by-some-network graph
+    (fewest hops; deterministic tie-break by rank).  Pairs with a direct
+    network do not appear.  Raises if some pair is unreachable even
+    through gateways.
+    """
+    nets = networks_of_ranks(config)
+    size = len(nets)
+    neighbours: list[list[int]] = [
+        [b for b in range(size) if b != a and nets[a] & nets[b]]
+        for a in range(size)
+    ]
+    routes: dict[int, dict[int, int]] = {}
+    for src in range(size):
+        # BFS rooted at src, recording the first hop of each shortest path.
+        first_hop: dict[int, int] = {}
+        seen = {src}
+        queue: deque[tuple[int, int | None]] = deque([(src, None)])
+        while queue:
+            current, hop = queue.popleft()
+            for nxt in neighbours[current]:
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                first_hop[nxt] = hop if hop is not None else nxt
+                queue.append((nxt, first_hop[nxt]))
+        for dst in range(size):
+            if dst == src:
+                continue
+            if dst not in seen:
+                raise ConfigurationError(
+                    f"ranks {src} and {dst} cannot reach each other even "
+                    "through gateways"
+                )
+            if dst not in [b for b in neighbours[src]]:
+                routes.setdefault(src, {})[dst] = first_hop[dst]
+    return routes
+
+
+def gateway_ranks(config: ClusterConfig) -> list[int]:
+    """Ranks that sit on more than one network (candidate gateways)."""
+    return [rank for rank, nets in enumerate(networks_of_ranks(config))
+            if len(nets) > 1]

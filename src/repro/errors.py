@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack raises a subclass of :class:`ReproError`, so user
+code can catch failures from the simulator, Madeleine, or the MPI layer
+either individually or wholesale.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Raised for discrete-event kernel misuse (e.g. scheduling in the past)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation ends while coroutines are still blocked.
+
+    This is the simulator's equivalent of a hung MPI job: the event queue
+    drained but at least one thread is waiting on a condition that can no
+    longer be signalled.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None):
+        super().__init__(message)
+        #: Names of the threads that were still blocked, for diagnostics.
+        self.blocked = list(blocked or [])
+
+
+class NetworkError(ReproError):
+    """Raised by the network substrate (bad routes, adapter misuse)."""
+
+
+class RouteError(NetworkError):
+    """Raised when no link connects two adapters that try to communicate."""
+
+
+class MadeleineError(ReproError):
+    """Raised by the Madeleine communication library."""
+
+
+class PackingError(MadeleineError):
+    """Raised for invalid pack/unpack sequences (flag ordering rules)."""
+
+
+class ChannelError(MadeleineError):
+    """Raised for channel misuse (unknown remote, closed channel...)."""
+
+
+class MPIError(ReproError):
+    """Base class for MPI-level errors (the MPICH layer)."""
+
+    #: MPI-like error class name, e.g. ``"MPI_ERR_RANK"``.
+    error_class: str = "MPI_ERR_OTHER"
+
+
+class MPIRankError(MPIError):
+    """Invalid rank argument."""
+
+    error_class = "MPI_ERR_RANK"
+
+
+class MPITagError(MPIError):
+    """Invalid tag argument."""
+
+    error_class = "MPI_ERR_TAG"
+
+
+class MPICommError(MPIError):
+    """Invalid communicator."""
+
+    error_class = "MPI_ERR_COMM"
+
+
+class MPIDatatypeError(MPIError):
+    """Invalid or uncommitted datatype."""
+
+    error_class = "MPI_ERR_TYPE"
+
+
+class MPITruncationError(MPIError):
+    """An incoming message was longer than the posted receive buffer."""
+
+    error_class = "MPI_ERR_TRUNCATE"
+
+
+class MPIRequestError(MPIError):
+    """Invalid request handle or operation on an inactive request."""
+
+    error_class = "MPI_ERR_REQUEST"
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid cluster/session configuration."""

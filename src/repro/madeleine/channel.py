@@ -1,0 +1,176 @@
+"""Channels and connections (paper §3.1).
+
+A :class:`Channel` "defines a closed world for communication (much like an
+MPI communicator)": it is bound to one network protocol and one adapter
+per process, and holds one :class:`Connection` per process pair.
+Communication on one channel never interferes with another channel's
+ordering; in-order delivery is guaranteed only per connection within a
+channel (§4.2.1 relies on this: one MPI message never spans channels).
+
+Each process sees a channel through its :class:`ChannelPort`, which owns
+the process-local incoming queue that either the application (raw
+Madeleine usage) or a ch_mad polling thread consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import ChannelError
+from repro.marcel.polling import PollSource
+from repro.madeleine.message import IncomingMessage, MadWireMessage, OutgoingMessage, PackedBlock
+from repro.networks.fabric import Delivery
+from repro.networks.nic import ProtocolEndpoint
+from repro.networks.params import ProtocolParams
+from repro.sim.coroutines import charge, wait
+from repro.sim.sync import Mailbox
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.madeleine.session import MadProcess
+
+
+class Channel:
+    """A closed communication world over one protocol."""
+
+    _counter = 0
+
+    def __init__(self, name: str, protocol: str):
+        Channel._counter += 1
+        self.id = Channel._counter
+        self.name = name
+        self.protocol = protocol
+        self.ports: dict[int, "ChannelPort"] = {}
+
+    def port(self, rank: int) -> "ChannelPort":
+        try:
+            return self.ports[rank]
+        except KeyError:
+            raise ChannelError(
+                f"channel {self.name!r} has no port for rank {rank}"
+            ) from None
+
+    def add_port(self, process: "MadProcess") -> "ChannelPort":
+        if process.rank in self.ports:
+            raise ChannelError(
+                f"rank {process.rank} already has a port on channel {self.name!r}"
+            )
+        port = ChannelPort(self, process)
+        self.ports[process.rank] = port
+        return port
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Channel {self.name!r} protocol={self.protocol} ports={sorted(self.ports)}>"
+
+
+class Connection:
+    """A reliable point-to-point link within a channel (one per peer)."""
+
+    def __init__(self, port: "ChannelPort", remote_rank: int):
+        self.port = port
+        self.remote_rank = remote_rank
+        self._send_seq = 0
+        #: Diagnostics.
+        self.messages_sent = 0
+
+    def _transmit(self, blocks: tuple[PackedBlock, ...]) -> Generator:
+        wire = MadWireMessage(
+            channel_id=self.port.channel.id,
+            source_rank=self.port.rank,
+            dest_rank=self.remote_rank,
+            sequence=self._send_seq,
+            blocks=blocks,
+        )
+        self._send_seq += 1
+        self.messages_sent += 1
+        remote_port = self.port.channel.port(self.remote_rank)
+        yield from self.port.endpoint.send_message(
+            remote_port.endpoint, wire.wire_bytes, wire
+        )
+
+
+class ChannelPort:
+    """One process's view of a channel."""
+
+    def __init__(self, channel: Channel, process: "MadProcess"):
+        self.channel = channel
+        self.process = process
+        self.rank = process.rank
+        self.endpoint: ProtocolEndpoint = process.endpoint(channel.protocol)
+        self.memory = process.memory
+        self.params: ProtocolParams = self.endpoint.params
+        self.incoming: Mailbox = Mailbox(
+            name=f"chan[{channel.name}]@{process.rank}.incoming"
+        )
+        self._connections: dict[int, Connection] = {}
+        process._register_port(self)
+
+    # -- sending ------------------------------------------------------------
+
+    def connection(self, remote_rank: int) -> Connection:
+        """The (lazily created) connection to ``remote_rank``."""
+        if remote_rank == self.rank:
+            raise ChannelError(
+                "Madeleine connections are inter-process; intra-process "
+                "communication belongs to the ch_self device"
+            )
+        if remote_rank not in self.channel.ports:
+            raise ChannelError(
+                f"rank {remote_rank} is not a member of channel "
+                f"{self.channel.name!r}"
+            )
+        conn = self._connections.get(remote_rank)
+        if conn is None:
+            conn = self._connections[remote_rank] = Connection(self, remote_rank)
+        return conn
+
+    def begin_packing(self, remote_rank: int) -> OutgoingMessage:
+        """Start building a message for ``remote_rank`` (mad_begin_packing)."""
+        return OutgoingMessage(self.connection(remote_rank))
+
+    # -- receiving -----------------------------------------------------------
+
+    def begin_unpacking(self) -> Generator:
+        """Block until *some* message arrives on this channel; open it.
+
+        Evaluates to an :class:`IncomingMessage` (mad_begin_unpacking —
+        note the paper's API does not select a source; the message's
+        connection is discovered from the result).
+        """
+        delivery = yield wait(self.incoming)
+        # Raw-Madeleine usage: the application thread itself performs the
+        # detection (a select() on TCP, a flag check on SCI/BIP), so the
+        # per-poll cost is charged here.  Under ch_mad the polling thread
+        # pays it instead (via its PollSource) and calls open_delivery.
+        if self.params.poll_cost:
+            yield charge(self.params.poll_cost)
+        message = yield from self.open_delivery(delivery)
+        return message
+
+    def open_delivery(self, delivery: Delivery) -> Generator:
+        """Charge receive costs for a delivery and wrap it for unpacking.
+
+        Used directly by polling-thread handlers which already hold the
+        delivery (they consumed the mailbox via their poll source).
+        """
+        wire = delivery.payload
+        if not isinstance(wire, MadWireMessage):  # pragma: no cover - defensive
+            raise ChannelError(f"foreign payload on channel {self.channel.name!r}")
+        cost = self.endpoint.recv_cost(delivery.nbytes)
+        if cost:
+            yield charge(cost)
+        return IncomingMessage(self, wire, delivery)
+
+    def poll_source(self) -> PollSource:
+        """Marcel poll source for this port (per-protocol mode/period)."""
+        p = self.params
+        return PollSource(
+            name=f"{self.channel.name}@{self.rank}",
+            mode=p.poll_mode,
+            mailbox=self.incoming,
+            poll_cost=p.poll_cost,
+            period=p.poll_period,
+            idle_period=p.poll_idle_period,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ChannelPort {self.channel.name!r} rank={self.rank}>"

@@ -1,0 +1,45 @@
+"""Madeleine packing semantics flags (paper §3.2).
+
+Each ``mad_pack``/``mad_unpack`` carries one :class:`SendMode` and one
+:class:`ReceiveMode`.  The mode pair is part of the wire contract: sender
+and receiver must pass identical flags for each block.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SendMode(enum.Enum):
+    """Sender-side freedom for one packed block."""
+
+    #: The block may be modified by the application right after ``mad_pack``
+    #: returns: the library must have taken its own copy (or sent it).
+    SAFER = "send_SAFER"
+    #: The block must stay untouched until ``mad_end_packing`` returns.
+    LATER = "send_LATER"
+    #: The library picks whatever is cheapest (usual choice).
+    CHEAPER = "send_CHEAPER"
+
+
+class ReceiveMode(enum.Enum):
+    """Receiver-side availability guarantee for one packed block."""
+
+    #: Available immediately after the matching ``mad_unpack`` — required
+    #: when the block's contents drive subsequent unpack calls (headers).
+    EXPRESS = "receive_EXPRESS"
+    #: Available only after ``mad_end_unpacking`` — lets the library use
+    #: zero-copy bulk paths.
+    CHEAPER = "receive_CHEAPER"
+
+
+SEND_SAFER = SendMode.SAFER
+SEND_LATER = SendMode.LATER
+SEND_CHEAPER = SendMode.CHEAPER
+RECEIVE_EXPRESS = ReceiveMode.EXPRESS
+RECEIVE_CHEAPER = ReceiveMode.CHEAPER
+
+#: Per-block wire framing (length + flags descriptor) in bytes.
+BLOCK_FRAMING_BYTES = 8
+#: Per-message wire framing (channel id, source, sequence) in bytes.
+MESSAGE_FRAMING_BYTES = 16

@@ -1,0 +1,186 @@
+"""Outgoing and incoming Madeleine messages (paper §3.2).
+
+Cost model (see DESIGN.md §5):
+
+- The first block of a message is covered by the protocol's per-message
+  overheads.  Every *additional* block charges the driver's
+  ``pack_op_cost`` on the sender and ``unpack_op_cost`` on the receiver —
+  this is precisely the "additional packing operation" overhead the paper
+  measures for ch_mad (21 us TCP / 6.5 us SCI / 4.5 us BIP per extra
+  pack+unpack pair, §5.2–5.4).
+- ``receive_EXPRESS`` blocks are aggregated into the message's express
+  segment: both sides pay a memcpy of the block (EXPRESS trades copies
+  for immediacy).  ``receive_CHEAPER`` blocks ride the driver's cheapest
+  (zero-copy) path and cost no copies.
+- ``send_SAFER`` forces a sender-side copy even for CHEAPER blocks (the
+  library must detach the data from the application buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import PackingError
+from repro.madeleine.constants import (
+    BLOCK_FRAMING_BYTES,
+    MESSAGE_FRAMING_BYTES,
+    ReceiveMode,
+    SendMode,
+)
+from repro.sim.coroutines import charge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.madeleine.channel import ChannelPort, Connection
+    from repro.networks.fabric import Delivery
+
+
+@dataclass(frozen=True)
+class PackedBlock:
+    """One ``mad_pack``'d block as it travels on the wire."""
+
+    data: Any
+    size: int
+    send_mode: SendMode
+    receive_mode: ReceiveMode
+
+
+@dataclass(frozen=True)
+class MadWireMessage:
+    """The payload handed to the network fabric for one Madeleine message."""
+
+    channel_id: int
+    source_rank: int
+    dest_rank: int
+    sequence: int
+    blocks: tuple[PackedBlock, ...]
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes serialized for this message (blocks + framing)."""
+        return (
+            MESSAGE_FRAMING_BYTES
+            + sum(b.size + BLOCK_FRAMING_BYTES for b in self.blocks)
+        )
+
+
+class OutgoingMessage:
+    """Build-side state machine: ``pack*`` then ``end_packing``."""
+
+    def __init__(self, connection: "Connection"):
+        self.connection = connection
+        self._blocks: list[PackedBlock] = []
+        self._finalized = False
+
+    def pack(self, data: Any, size: int, send_mode: SendMode,
+             receive_mode: ReceiveMode) -> Generator:
+        """Append one block to the message (charges pack costs)."""
+        if self._finalized:
+            raise PackingError("pack after end_packing")
+        if size < 0:
+            raise PackingError(f"negative block size {size}")
+        if not isinstance(send_mode, SendMode) or not isinstance(receive_mode, ReceiveMode):
+            raise PackingError("pack requires a SendMode and a ReceiveMode flag")
+        port = self.connection.port
+        cost = 0
+        if self._blocks:  # first block is covered by the message overheads
+            cost += port.params.pack_op_cost
+        if receive_mode is ReceiveMode.EXPRESS or send_mode is SendMode.SAFER:
+            cost += port.memory.copy_cost(size)
+        if cost:
+            yield charge(cost)
+        self._blocks.append(PackedBlock(data, size, send_mode, receive_mode))
+
+    def end_packing(self) -> Generator:
+        """Finalize and transmit; returns when the send completes locally."""
+        if self._finalized:
+            raise PackingError("end_packing called twice")
+        if not self._blocks:
+            raise PackingError("empty message: pack at least one block")
+        self._finalized = True
+        yield from self.connection._transmit(tuple(self._blocks))
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+
+class IncomingMessage:
+    """Extract-side state machine: ``unpack*`` then ``end_unpacking``.
+
+    Unpack calls must mirror the pack sequence exactly (size and both
+    mode flags), as in real Madeleine where a mismatch corrupts the
+    stream.  We detect and raise instead.
+    """
+
+    def __init__(self, port: "ChannelPort", wire: MadWireMessage,
+                 delivery: "Delivery"):
+        self.port = port
+        self.wire = wire
+        self.delivery = delivery
+        self._cursor = 0
+        self._finalized = False
+
+    @property
+    def source_rank(self) -> int:
+        """Rank (process id) of the sender — identifies the connection."""
+        return self.wire.source_rank
+
+    def unpack(self, size: int, send_mode: SendMode,
+               receive_mode: ReceiveMode) -> Generator:
+        """Extract the next block; evaluates to the block's data."""
+        if self._finalized:
+            raise PackingError("unpack after end_unpacking")
+        if self._cursor >= len(self.wire.blocks):
+            raise PackingError(
+                f"unpack #{self._cursor + 1} but message has only "
+                f"{len(self.wire.blocks)} blocks"
+            )
+        block = self.wire.blocks[self._cursor]
+        if block.size != size:
+            raise PackingError(
+                f"unpack size {size} != packed size {block.size} "
+                f"(block {self._cursor})"
+            )
+        if block.send_mode is not send_mode or block.receive_mode is not receive_mode:
+            raise PackingError(
+                f"unpack modes ({send_mode}, {receive_mode}) do not match "
+                f"packed modes ({block.send_mode}, {block.receive_mode})"
+            )
+        cost = 0
+        if self._cursor > 0:
+            cost += self.port.params.unpack_op_cost
+        if receive_mode is ReceiveMode.EXPRESS:
+            cost += self.port.memory.copy_cost(size)
+        if cost:
+            yield charge(cost)
+        self._cursor += 1
+        return block.data
+
+    def end_unpacking(self) -> Generator:
+        """Finish extraction.  All blocks must have been consumed."""
+        if self._finalized:
+            raise PackingError("end_unpacking called twice")
+        if self._cursor != len(self.wire.blocks):
+            raise PackingError(
+                f"end_unpacking with {len(self.wire.blocks) - self._cursor} "
+                "blocks not yet unpacked"
+            )
+        self._finalized = True
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    @property
+    def remaining_blocks(self) -> int:
+        return len(self.wire.blocks) - self._cursor
+
+    def next_block_size(self) -> int:
+        """Wire size of the next block to unpack.
+
+        Madeleine frames each block with a length descriptor, so the
+        receiving side may size a self-describing header before
+        extracting it (ch_mad's type-field dispatch relies on this).
+        """
+        if self._cursor >= len(self.wire.blocks):
+            raise PackingError("no blocks left to size")
+        return self.wire.blocks[self._cursor].size

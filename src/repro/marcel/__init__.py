@@ -1,0 +1,20 @@
+"""Marcel — the user-level multi-threading library (simulated).
+
+The real Marcel is PM2's user-level thread package; the paper relies on it
+for (a) cheap thread creation/destruction/yield, (b) cooperative scheduling
+inside one process, and (c) tight integration of network polling with the
+scheduler (§3.3).  This package provides the same facilities on top of the
+:mod:`repro.sim` kernel:
+
+- :class:`~repro.marcel.thread.MarcelRuntime`: one per simulated process;
+  owns the process's CPU and spawns named threads.
+- :class:`~repro.marcel.polling.PollingThread`: the per-channel polling
+  threads of §4.2.3, with per-protocol polling mode/frequency/cost —
+  cheap event-driven polling for SCI/BIP-style NICs, periodic ``select``
+  polling for TCP.
+"""
+
+from repro.marcel.polling import PollMode, PollingThread, PollSource
+from repro.marcel.thread import MarcelRuntime
+
+__all__ = ["MarcelRuntime", "PollMode", "PollSource", "PollingThread"]

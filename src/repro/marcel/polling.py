@@ -1,0 +1,133 @@
+"""Network polling threads (paper §3.3 and §4.2.3).
+
+The paper assigns one Marcel thread to poll each Madeleine channel, with a
+per-protocol polling *frequency*: "low latency networks with cheap polling
+mechanisms [are] polled more frequently than TCP-like networks only
+providing the expensive select system call".
+
+Two polling modes model that split:
+
+- :attr:`PollMode.EVENT` — SCI/BIP style.  Detection is a cheap memory
+  flag that Marcel's idle loop checks continuously; we model it as an
+  event-driven wake (the NIC posts into a mailbox) plus a per-message
+  poll cost.  Detection latency is the scheduler latency, near zero when
+  the CPU is idle — exactly the behaviour the paper credits Marcel for.
+- :attr:`PollMode.PERIODIC` — TCP style.  The thread charges
+  ``poll_cost`` (the select call) every ``period`` whether or not traffic
+  arrives.  This standing cost is the source of the multi-protocol
+  interference measured in the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.sim.coroutines import charge, sleep, wait
+from repro.sim.cpu import Task
+from repro.sim.sync import Mailbox
+from repro.marcel.thread import MarcelRuntime
+
+#: A handler is a generator function consuming one delivered item; it may
+#: charge CPU, block, and spawn temporary threads via its closure.
+Handler = Callable[[Any], Generator]
+
+
+class PollMode(enum.Enum):
+    """How arrivals on a channel are detected."""
+
+    EVENT = "event"        # cheap flag check, wake-on-arrival (SCI, BIP)
+    PERIODIC = "periodic"  # expensive periodic syscall (TCP select)
+
+
+@dataclass
+class PollSource:
+    """What a polling thread watches.
+
+    ``mailbox`` receives delivered items from the NIC model.  For
+    :attr:`PollMode.PERIODIC` sources the mailbox is still the hand-off
+    queue, but the thread only looks at it every ``period`` ns and pays
+    ``poll_cost`` per look; for :attr:`PollMode.EVENT` sources the thread
+    blocks on the mailbox and pays ``poll_cost`` per *item*.
+    """
+
+    name: str
+    mode: PollMode
+    mailbox: Mailbox
+    poll_cost: int   # ns charged per poll (EVENT: per item; PERIODIC: per tick)
+    period: int = 0  # ns between polls (PERIODIC only)
+    #: Poll interval while the CPU has nothing else to run.  Marcel folds
+    #: polling into its idle loop (§3.3), so an otherwise-idle process
+    #: polls much more often than the contended-period; 0 = same as
+    #: ``period``.
+    idle_period: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode is PollMode.PERIODIC and self.period <= 0:
+            raise ValueError(f"periodic source {self.name} needs period > 0")
+
+
+class PollingThread:
+    """One persistent polling thread bound to one poll source.
+
+    The handler runs *inline* in the polling thread (charging its costs on
+    the shared CPU).  Per the paper's deadlock rule, a handler must never
+    perform a blocking send itself; it spawns a temporary thread instead —
+    that discipline is the device's responsibility (see
+    :mod:`repro.mpi.devices.ch_mad.polling`).
+    """
+
+    def __init__(self, runtime: MarcelRuntime, source: PollSource,
+                 handler: Handler):
+        self.runtime = runtime
+        self.source = source
+        self.handler = handler
+        self.items_handled = 0
+        self.polls = 0
+        self.task: Task = runtime.spawn(
+            self._body(), name=f"poll.{source.name}", daemon=True
+        )
+
+    def _body(self) -> Generator:
+        if self.source.mode is PollMode.EVENT:
+            return self._event_body()
+        return self._periodic_body()
+
+    def _event_body(self) -> Generator:
+        mailbox = self.source.mailbox
+        cost = self.source.poll_cost
+        while True:
+            item = yield wait(mailbox)
+            self.polls += 1
+            if cost:
+                yield charge(cost)
+            self.items_handled += 1
+            yield from self.handler(item)
+
+    def _periodic_body(self) -> Generator:
+        mailbox = self.source.mailbox
+        cost = self.source.poll_cost
+        period = self.source.period
+        idle_period = self.source.idle_period or period
+        cpu = self.runtime.cpu
+        while True:
+            self.polls += 1
+            if cost:
+                yield charge(cost)
+            handled_any = False
+            while len(mailbox) > 0:
+                handled_any = True
+                got, item = mailbox._try_acquire(None)  # non-blocking: queue non-empty
+                assert got
+                self.items_handled += 1
+                yield from self.handler(item)
+            if not handled_any:
+                # Marcel idle-loop integration: poll tightly while nothing
+                # else wants the CPU, back off to the full period otherwise.
+                busy = len(cpu._ready) > 0
+                yield sleep(period if busy else idle_period)
+
+    def stop(self) -> None:
+        """Kill the polling thread (session teardown)."""
+        self.task.kill()

@@ -1,0 +1,222 @@
+"""Device base class and the per-process progress engine.
+
+The :class:`ProgressEngine` is the receive-side heart of the ADI: every
+device — ch_self, smp_plug, ch_p4, ch_mad — delivers arrivals into the
+same posted/unexpected queues, which is what makes ``MPI_ANY_SOURCE``
+receives work across devices (§2.3: the ADI data structures are
+"multi-device-ready"; our single progress engine realizes that).
+
+Deadlock rule (§4.2.3): a *polling thread* must never block in a send.
+``deliver_rndv_request`` therefore spawns a temporary Marcel thread to
+emit the acknowledgement when the matching receive was already posted;
+when the receive arrives later, the application's own (main) thread sends
+the acknowledgement inline.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Generator, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.mpi.adi.packets import Envelope
+from repro.mpi.adi.queues import (
+    PostedQueue,
+    UnexpectedEntry,
+    UnexpectedKind,
+    UnexpectedQueue,
+)
+from repro.mpi.adi.rhandle import RecvHandle, RndvSync, SendHandle
+from repro.sim.coroutines import charge
+from repro.sim.sync import Condition
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.madeleine.session import MadProcess
+
+#: MPI_ERR_TRUNCATE as a status error code.
+ERR_TRUNCATE = 15
+
+
+def clone_payload(obj: Any) -> Any:
+    """Detach a payload from the sender's buffer (MPI value semantics).
+
+    Immutable objects pass through; numpy arrays and general mutables are
+    copied so a receiver can never alias the sender's memory (only
+    observable with ch_self/smp_plug, where no wire intervenes).
+    """
+    if obj is None or isinstance(obj, (bytes, str, int, float, bool, complex,
+                                       frozenset, tuple)):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return _copy.deepcopy(obj)
+
+
+class ProgressEngine:
+    """Shared receive-side state of one MPI process."""
+
+    def __init__(self, process: "MadProcess", byte_order: str = "little",
+                 heterogeneity_conversion: bool = True):
+        self.process = process
+        self.posted = PostedQueue()
+        self.unexpected = UnexpectedQueue()
+        self.memory = process.memory
+        self.runtime = process.runtime
+        #: This node's native representation and whether the ADI converts
+        #: foreign-order numeric payloads (Fig. 1 "heterogeneity").
+        self.byte_order = byte_order
+        self.heterogeneity_conversion = heterogeneity_conversion
+        #: Conversions performed (diagnostic).
+        self.conversions = 0
+        #: Per-(context, destination) send-ordering gates (MPI
+        #: non-overtaking; see repro.mpi.point2point.SendGate).
+        self.send_gates: dict[tuple[int, int], Any] = {}
+        #: sync_id -> RndvSync, the "address book" for MPID_RNDV_T handles.
+        self.sync_registry: dict[int, RndvSync] = {}
+        #: Broadcast on every arrival; blocking probes wait here.
+        self.arrivals = Condition(name="adi-arrivals")
+        #: Diagnostics.
+        self.eager_delivered = 0
+        self.rndv_completed = 0
+
+    # -- registry ------------------------------------------------------------
+
+    def register_sync(self, handle: RecvHandle) -> RndvSync:
+        sync = handle.make_sync()
+        self.sync_registry[sync.sync_id] = sync
+        return sync
+
+    # -- arrival paths (run by polling threads or ch_self) ----------------------
+
+    def deliver_eager(self, envelope: Envelope, data: Any,
+                      charge_copy: bool = True,
+                      copy_on_match: bool | None = None,
+                      copy_on_buffer: bool | None = None) -> Generator:
+        """An eager data packet arrived: match or buffer.
+
+        Copy charging is device-specific: ch_mad pays the paper's eager
+        "intermediary copy on the receiving side" in both branches
+        (default); ch_self charges its single memcpy itself
+        (``charge_copy=False``); ch_p4 reads straight into a posted user
+        buffer but must buffer unexpected arrivals
+        (``copy_on_match=False, copy_on_buffer=True``).
+        """
+        if copy_on_match is None:
+            copy_on_match = charge_copy
+        if copy_on_buffer is None:
+            copy_on_buffer = charge_copy
+        data = yield from self._heterogeneity(envelope, data)
+        handle = self.posted.match(envelope)
+        if handle is not None:
+            if copy_on_match:
+                yield charge(self.memory.copy_cost(envelope.size))
+            self._check_truncation(handle, envelope)
+            handle.complete(envelope, data)
+            self.eager_delivered += 1
+        else:
+            if copy_on_buffer:
+                # Copy into the unexpected buffer; a second copy happens
+                # when the receive finally matches.
+                yield charge(self.memory.copy_cost(envelope.size))
+            self.unexpected.add(UnexpectedEntry(envelope, UnexpectedKind.EAGER,
+                                                data=data))
+        self.arrivals.notify_all()
+
+    def deliver_rndv_request(self, envelope: Envelope, token: Any,
+                             device: "Device") -> Generator:
+        """A rendezvous request arrived (MAD_REQUEST_PKT path)."""
+        handle = self.posted.match(envelope)
+        if handle is not None:
+            self._check_truncation(handle, envelope)
+            sync = self.register_sync(handle)
+            # Polling threads must not send: spawn the ack thread (§4.2.3).
+            self.runtime.spawn_temporary(
+                device.send_rndv_ack(token, sync.sync_id), name="rndv-ack"
+            )
+        else:
+            self.unexpected.add(UnexpectedEntry(envelope,
+                                                UnexpectedKind.RNDV_REQUEST,
+                                                rndv_token=token))
+        self.arrivals.notify_all()
+        return
+        yield  # pragma: no cover - generator marker
+
+    def deliver_rndv_data(self, sync_id: int, envelope: Envelope,
+                          data: Any) -> Generator:
+        """The zero-copy data packet arrived: finish the transaction."""
+        sync = self.sync_registry.pop(sync_id, None)
+        if sync is None:
+            raise MPIError(f"rendezvous data for unknown sync_id {sync_id}")
+        # Zero-copy: the data lands in the user buffer; no memcpy charge
+        # (heterogeneity conversion, when needed, is charged).
+        data = yield from self._heterogeneity(envelope, data)
+        sync.rhandle.complete(envelope, data)
+        self.rndv_completed += 1
+        self.arrivals.notify_all()
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _heterogeneity(self, envelope: Envelope, data: Any) -> Generator:
+        """Convert a foreign-byte-order payload to the local order.
+
+        Conversion only applies to numeric buffers (numpy arrays) — the
+        ADI's datatype engine knows their element layout.  With
+        conversion disabled (ablation), foreign arrays arrive raw: the
+        receiver sees byte-swapped garbage, exactly what a heterogeneous
+        cluster without Fig. 1's "heterogeneity" box would produce.
+        """
+        if envelope.byte_order == self.byte_order:
+            return data
+        if not isinstance(data, np.ndarray) or data.dtype.itemsize <= 1:
+            return data
+        if not self.heterogeneity_conversion:
+            return data.byteswap()  # raw foreign bytes, misinterpreted
+        # Swap in place conceptually: one pass over the payload.
+        yield charge(self.memory.copy_cost(envelope.size))
+        self.conversions += 1
+        return data
+
+    @staticmethod
+    def _check_truncation(handle: RecvHandle, envelope: Envelope) -> None:
+        if handle.capacity is not None and envelope.size > handle.capacity:
+            handle.status.error = ERR_TRUNCATE
+
+
+class Device:
+    """Abstract device (an MPID_Device).
+
+    Concrete devices implement the three send-side entry points as
+    generators run in the *sending process*:
+
+    - :meth:`send_eager` — transmit envelope+data; returns at local
+      completion (data is out of the user's hands);
+    - :meth:`send_rndv` — run the full rendezvous from the sender side:
+      emit the request, block until the acknowledgement delivers the
+      remote sync id, transmit the data packet;
+    - :meth:`send_rndv_ack` — receiver side: emit OK_TO_SEND for a
+      pending request ``token`` carrying our ``sync_id``.
+
+    ``eager_threshold`` is the single integer the ADI reserves for the
+    transfer-mode switch point (§4.2.2).
+    """
+
+    name = "device"
+    eager_threshold: int = 0
+
+    def send_eager(self, dest_world: int, envelope: Envelope,
+                   data: Any) -> Generator:
+        raise NotImplementedError  # pragma: no cover
+
+    def send_rndv(self, dest_world: int, shandle: SendHandle) -> Generator:
+        raise NotImplementedError  # pragma: no cover
+
+    def send_rndv_ack(self, token: Any, sync_id: int) -> Generator:
+        raise NotImplementedError  # pragma: no cover
+
+    def shutdown(self) -> None:
+        """Stop polling threads etc. (MPI_Finalize)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Device {self.name} threshold={self.eager_threshold}>"

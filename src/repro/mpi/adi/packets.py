@@ -1,0 +1,49 @@
+"""Envelopes and ADI packet headers.
+
+The :class:`Envelope` is the matching key of every MPI message:
+(context id, source world rank, tag) plus the payload size for
+truncation checks.  Sizes below are the modelled byte weights of the ADI
+header structures (MPID_PKT_*), used so control packets have realistic
+wire footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """The matching envelope carried by every data/request packet.
+
+    ``byte_order`` is the sender's native representation — the ADI's
+    "heterogeneity management" (Fig. 1) converts on the receiving side
+    when it differs from the local order.  It never participates in
+    matching.
+    """
+
+    context_id: int
+    source: int      # world rank of the sender
+    tag: int
+    size: int        # payload bytes
+    byte_order: str = "little"
+
+    def matches(self, source_pattern: int, tag_pattern: int) -> bool:
+        """Does this envelope satisfy a receive pattern (wildcards ok)?"""
+        if source_pattern != ANY_SOURCE and source_pattern != self.source:
+            return False
+        if tag_pattern != ANY_TAG and tag_pattern != self.tag:
+            return False
+        return True
+
+
+#: Modelled sizes (bytes) of the ADI packet structures that ride inside
+#: device headers.  MPID_PKT_HEAD_T carries the envelope; the others add
+#: their specific fields (paper Fig. 5).
+PKT_HEAD_BYTES = 24          # MPID_PKT_HEAD_T: envelope + mode bits
+PKT_REQUEST_SEND_BYTES = 32  # MPID_PKT_REQUEST_SEND_T: envelope + send id
+PKT_OK_TO_SEND_BYTES = 16    # MPID_PKT_OK_TO_SEND_T: send id + sync_address
+SYNC_ADDRESS_BYTES = 8       # MPID_RNDV_T handle on the wire
+TYPE_FIELD_BYTES = 4         # the leading integer type field

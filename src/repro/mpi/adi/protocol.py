@@ -1,0 +1,36 @@
+"""Transfer-mode selection (paper §2.2.1, §4.1, §4.2.2).
+
+The portable ADI selects an exchange protocol per message from
+device-specific thresholds.  The MPID_Device structure "only reserves a
+single integer field to store the transfer mode selection threshold for a
+given device" — the limitation that forces ch_mad to *elect* one switch
+point across all its networks (see
+:mod:`repro.mpi.devices.ch_mad.switchpoints`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TransferMode(enum.Enum):
+    """The two ch_mad transfer modes (§4.1)."""
+
+    #: Data sent immediately; optimized for latency at the cost of an
+    #: intermediary copy on the receiving side.
+    EAGER = "eager"
+    #: Request/acknowledge synchronization first, then zero-copy data.
+    RENDEZVOUS = "rendezvous"
+
+
+def select_mode(size: int, eager_threshold: int) -> TransferMode:
+    """Pick the transfer mode for a ``size``-byte payload.
+
+    Messages strictly larger than the threshold go rendezvous; the
+    threshold itself still ships eagerly (the paper's "switch point
+    beyond which the rendezvous transfer mode replaces the classical
+    eager mode").
+    """
+    if size > eager_threshold:
+        return TransferMode.RENDEZVOUS
+    return TransferMode.EAGER

@@ -1,0 +1,365 @@
+"""Collective operations (MPICH's "generic part", Fig. 1).
+
+Everything is built on point-to-point over the communicator's hidden
+collective context, with a per-invocation tag so consecutive collectives
+never cross-match.  Algorithms are the classic MPICH choices:
+
+- barrier: dissemination (log2 rounds);
+- bcast / reduce: binomial trees (reduce preserves rank order, so
+  non-commutative operations are safe);
+- allreduce: reduce-to-root + broadcast;
+- gather / scatter: linear (root-centric);
+- allgather: ring (size-1 steps);
+- alltoall: pairwise sendrecv rotation;
+- scan / exscan: linear chain.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import MPIError, MPIRankError
+from repro.mpi.reduce_ops import Op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Communicator
+
+
+def _check_root(comm: "Communicator", root: int) -> None:
+    if not 0 <= root < comm.size:
+        raise MPIRankError(f"root {root} out of range for size {comm.size}")
+
+
+def _csend(comm: "Communicator", obj: Any, dest: int, tag: int) -> Generator:
+    from repro.mpi import point2point as _p2p
+    yield from _p2p.send_impl(comm, obj, dest, tag, None,
+                              comm.collective_context)
+
+
+def _crecv(comm: "Communicator", source: int, tag: int) -> Generator:
+    from repro.mpi import point2point as _p2p
+    request = _p2p.irecv_impl(comm, source, tag, None,
+                              comm.collective_context)
+    data, _status = yield from _p2p.recv_wait(comm, request)
+    return data
+
+
+def _csendrecv(comm: "Communicator", obj: Any, dest: int, source: int,
+               tag: int) -> Generator:
+    from repro.mpi import point2point as _p2p
+    send_req = _p2p.isend_impl(comm, obj, dest, tag, None,
+                               comm.collective_context)
+    data = yield from _crecv(comm, source, tag)
+    yield from send_req.wait()
+    return data
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+def barrier(comm: "Communicator") -> Generator:
+    """Dissemination barrier: ceil(log2(size)) rounds of sendrecv."""
+    tag = comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    distance = 1
+    while distance < size:
+        dest = (rank + distance) % size
+        source = (rank - distance) % size
+        yield from _csendrecv(comm, None, dest, source, tag)
+        distance *= 2
+
+
+# ---------------------------------------------------------------------------
+# broadcast (binomial tree)
+# ---------------------------------------------------------------------------
+
+def bcast(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
+    """Broadcast ``obj`` from ``root``; evaluates to the object on every
+    rank."""
+    _check_root(comm, root)
+    tag = comm._coll_tag()
+    size = comm.size
+    if size == 1:
+        return obj
+    relative = (comm.rank - root) % size
+    # Receive from the parent: the rank with our lowest set bit cleared.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = relative - mask
+            obj = yield from _crecv(comm, (parent + root) % size, tag)
+            break
+        mask *= 2
+    # Forward to children below our lowest set bit, farthest first.
+    mask //= 2
+    while mask > 0:
+        child = relative + mask
+        if child < size:
+            yield from _csend(comm, obj, (child + root) % size, tag)
+        mask //= 2
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# reduce (binomial tree, rank-order preserving)
+# ---------------------------------------------------------------------------
+
+def reduce(comm: "Communicator", obj: Any, op: Op, root: int = 0) -> Generator:
+    """Reduce to ``root``; evaluates to the result at root, None elsewhere.
+
+    The binomial combine keeps contributions in contiguous rank segments,
+    so ``op`` need not be commutative.
+    """
+    _check_root(comm, root)
+    tag = comm._coll_tag()
+    size = comm.size
+    if size == 1:
+        return obj
+    relative = (comm.rank - root) % size
+    value = obj
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative & ~mask) % size
+            yield from _csend(comm, value, (parent + root) % size, tag)
+            break
+        partner = relative | mask
+        if partner < size:
+            higher = yield from _crecv(comm, (partner + root) % size, tag)
+            # partner's segment follows ours in rank order.
+            value = op(value, higher)
+        mask *= 2
+    return value if comm.rank == root else None
+
+
+def allreduce(comm: "Communicator", obj: Any, op: Op) -> Generator:
+    """Reduce + broadcast; evaluates to the result on every rank."""
+    value = yield from reduce(comm, obj, op, root=0)
+    value = yield from bcast(comm, value, root=0)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter (linear)
+# ---------------------------------------------------------------------------
+
+def gather(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
+    """Evaluates to the rank-ordered list at root, None elsewhere."""
+    _check_root(comm, root)
+    tag = comm._coll_tag()
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for source in range(comm.size):
+            if source != root:
+                out[source] = yield from _crecv(comm, source, tag)
+        return out
+    yield from _csend(comm, obj, root, tag)
+    return None
+
+
+def scatter(comm: "Communicator", objs: Sequence[Any] | None,
+            root: int = 0) -> Generator:
+    """Evaluates to this rank's element of root's sequence."""
+    _check_root(comm, root)
+    tag = comm._coll_tag()
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            raise MPIError(
+                f"scatter root needs a sequence of exactly {comm.size} items"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                yield from _csend(comm, objs[dest], dest, tag)
+        return objs[root]
+    item = yield from _crecv(comm, root, tag)
+    return item
+
+
+# ---------------------------------------------------------------------------
+# allgather (ring) / alltoall (pairwise)
+# ---------------------------------------------------------------------------
+
+def allgather(comm: "Communicator", obj: Any) -> Generator:
+    """Evaluates to the rank-ordered list of contributions on every rank."""
+    tag = comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    out: list[Any] = [None] * size
+    out[rank] = obj
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = obj
+    for step in range(size - 1):
+        carry = yield from _csendrecv(comm, carry, right, left, tag)
+        out[(rank - step - 1) % size] = carry
+    return out
+
+
+def alltoall(comm: "Communicator", objs: Sequence[Any]) -> Generator:
+    """Evaluates to the list where item i came from rank i's ``objs[rank]``."""
+    size, rank = comm.size, comm.rank
+    if len(objs) != size:
+        raise MPIError(f"alltoall needs exactly {size} items, got {len(objs)}")
+    tag = comm._coll_tag()
+    out: list[Any] = [None] * size
+    out[rank] = objs[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        out[source] = yield from _csendrecv(comm, objs[dest], dest, source, tag)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scan / exscan (linear chains)
+# ---------------------------------------------------------------------------
+
+def reduce_scatter(comm: "Communicator", objs: Sequence[Any],
+                   op: Op) -> Generator:
+    """Reduce ``size`` contributions elementwise across ranks, then
+    scatter: rank i gets op-reduction of every rank's ``objs[i]``
+    (MPI_Reduce_scatter_block over objects)."""
+    size = comm.size
+    if len(objs) != size:
+        raise MPIError(f"reduce_scatter needs exactly {size} items")
+    # Classic small-comm algorithm: reduce each slot to its owner.
+    # Implemented as alltoall + local fold (pairwise-exchange friendly).
+    contributions = yield from alltoall(comm, list(objs))
+    return op.reduce_sequence(contributions)
+
+
+def alltoallv(comm: "Communicator", objs: Sequence[Any]) -> Generator:
+    """Variable-size all-to-all over objects.
+
+    Identical wire pattern to :func:`alltoall` — object payloads already
+    carry their own sizes — provided for API parity; the name documents
+    intent at call sites.
+    """
+    result = yield from alltoall(comm, objs)
+    return result
+
+
+def scan(comm: "Communicator", obj: Any, op: Op) -> Generator:
+    """Inclusive prefix reduction; evaluates to op(v0, ..., v_rank)."""
+    tag = comm._coll_tag()
+    value = obj
+    if comm.rank > 0:
+        prefix = yield from _crecv(comm, comm.rank - 1, tag)
+        value = op(prefix, obj)
+    if comm.rank < comm.size - 1:
+        yield from _csend(comm, value, comm.rank + 1, tag)
+    return value
+
+
+def exscan(comm: "Communicator", obj: Any, op: Op) -> Generator:
+    """Exclusive prefix reduction; None at rank 0."""
+    tag = comm._coll_tag()
+    prefix = None
+    if comm.rank > 0:
+        prefix = yield from _crecv(comm, comm.rank - 1, tag)
+    if comm.rank < comm.size - 1:
+        outgoing = obj if prefix is None else op(prefix, obj)
+        yield from _csend(comm, outgoing, comm.rank + 1, tag)
+    return prefix
+
+
+# ---------------------------------------------------------------------------
+# buffer (numpy) flavours
+# ---------------------------------------------------------------------------
+
+def Bcast(comm: "Communicator", array: np.ndarray, root: int = 0) -> Generator:
+    """In-place broadcast of a numpy array."""
+    data = yield from bcast(comm, array if comm.rank == root else None, root)
+    if comm.rank != root:
+        np.copyto(array, np.asarray(data).reshape(array.shape))
+
+
+def Reduce(comm: "Communicator", sendarr: np.ndarray,
+           recvarr: np.ndarray | None, op: Op, root: int = 0) -> Generator:
+    result = yield from reduce(comm, np.asarray(sendarr), op, root)
+    if comm.rank == root:
+        if recvarr is None:
+            raise MPIError("Reduce root needs a receive buffer")
+        np.copyto(recvarr, np.asarray(result).reshape(recvarr.shape))
+
+
+def Allreduce(comm: "Communicator", sendarr: np.ndarray,
+              recvarr: np.ndarray, op: Op | None = None) -> Generator:
+    if op is None:
+        from repro.mpi.reduce_ops import SUM as op  # noqa: N811
+    result = yield from allreduce(comm, np.asarray(sendarr), op)
+    np.copyto(recvarr, np.asarray(result).reshape(recvarr.shape))
+
+
+def Gather(comm: "Communicator", sendarr: np.ndarray,
+           recvarr: np.ndarray | None, root: int = 0) -> Generator:
+    parts = yield from gather(comm, np.asarray(sendarr), root)
+    if comm.rank == root:
+        if recvarr is None:
+            raise MPIError("Gather root needs a receive buffer")
+        stacked = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
+        np.copyto(recvarr.reshape(-1), stacked)
+
+
+def Scatter(comm: "Communicator", sendarr: np.ndarray | None,
+            recvarr: np.ndarray, root: int = 0) -> Generator:
+    if comm.rank == root:
+        if sendarr is None:
+            raise MPIError("Scatter root needs a send buffer")
+        flat = np.asarray(sendarr).reshape(comm.size, -1)
+        parts = [flat[i].copy() for i in range(comm.size)]
+    else:
+        parts = None
+    part = yield from scatter(comm, parts, root)
+    np.copyto(recvarr.reshape(-1), np.asarray(part).reshape(-1))
+
+
+def Allgather(comm: "Communicator", sendarr: np.ndarray,
+              recvarr: np.ndarray) -> Generator:
+    parts = yield from allgather(comm, np.asarray(sendarr))
+    stacked = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
+    np.copyto(recvarr.reshape(-1), stacked)
+
+
+def Gatherv(comm: "Communicator", sendarr: np.ndarray,
+            recvspec: tuple | None, root: int = 0) -> Generator:
+    """Variable-count gather: ``recvspec = (recvarr, counts, displs)`` at
+    root (counts/displs in elements)."""
+    parts = yield from gather(comm, np.asarray(sendarr), root)
+    if comm.rank == root:
+        if recvspec is None:
+            raise MPIError("Gatherv root needs (recvarr, counts, displs)")
+        recvarr, counts, displs = recvspec
+        flat = recvarr.reshape(-1)
+        for part, count, displ in zip(parts, counts, displs):
+            data = np.asarray(part).reshape(-1)
+            if data.size != count:
+                raise MPIError(
+                    f"Gatherv: contribution of {data.size} elements, "
+                    f"count says {count}"
+                )
+            flat[displ:displ + count] = data
+
+
+def Scatterv(comm: "Communicator", sendspec: tuple | None,
+             recvarr: np.ndarray, root: int = 0) -> Generator:
+    """Variable-count scatter: ``sendspec = (sendarr, counts, displs)`` at
+    root."""
+    if comm.rank == root:
+        if sendspec is None:
+            raise MPIError("Scatterv root needs (sendarr, counts, displs)")
+        sendarr, counts, displs = sendspec
+        flat = np.asarray(sendarr).reshape(-1)
+        parts = [flat[d:d + c].copy() for c, d in zip(counts, displs)]
+    else:
+        parts = None
+    part = yield from scatter(comm, parts, root)
+    data = np.asarray(part).reshape(-1)
+    recvarr.reshape(-1)[:data.size] = data

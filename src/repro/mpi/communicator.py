@@ -1,0 +1,441 @@
+"""Communicators: the user-facing MPI object.
+
+API shape mirrors mpi4py: lowercase methods move arbitrary Python
+objects; uppercase methods move numpy buffers through the datatype
+engine.  All communication methods are generators — call them with
+``yield from`` inside a program coroutine::
+
+    yield from comm.send(obj, dest=1, tag=7)
+    data, status = yield from comm.recv(source=0)
+    total = yield from comm.allreduce(comm.rank)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.errors import MPICommError, MPIDatatypeError
+from repro.mpi import collectives as _coll
+from repro.mpi import point2point as _p2p
+from repro.mpi.adi.device import clone_payload
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COLLECTIVE_CONTEXT_OFFSET,
+    UNDEFINED,
+)
+from repro.mpi.datatypes import BYTE, Datatype
+from repro.mpi.group import Group
+from repro.mpi.reduce_ops import SUM, Op
+from repro.mpi.request import RecvRequest, SendRequest
+from repro.mpi.status import Status
+from repro.sim.coroutines import charge
+
+
+class Communicator:
+    """An MPI communicator: a group plus an isolated context."""
+
+    def __init__(self, env, group: Group, context_id: int):
+        self.env = env
+        self.group = group
+        self.context_id = context_id
+        self.rank = group.rank_of(env.rank)
+        if self.rank == UNDEFINED:
+            raise MPICommError(
+                f"process {env.rank} constructed a communicator it is not in"
+            )
+        self._coll_seq = 0
+        self.freed = False
+        #: Attribute cache (MPI keyval mechanism, per-communicator).
+        self._attributes: dict[Any, Any] = {}
+
+    #: True on intercommunicators (MPI_Comm_test_inter).
+    is_inter = False
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    @property
+    def collective_context(self) -> int:
+        """Hidden context for collective traffic (the MPICH trick)."""
+        return self.context_id + COLLECTIVE_CONTEXT_OFFSET
+
+    # -- rank translation hooks (intercommunicators override these) ---------
+
+    def _dest_world(self, rank: int) -> int:
+        """World rank a send to ``rank`` targets."""
+        return self.group.world_rank(rank)
+
+    def _source_world(self, rank: int) -> int:
+        """World rank a receive from ``rank`` matches."""
+        return self.group.world_rank(rank)
+
+    def _rank_of_world(self, world_rank: int) -> int:
+        """Communicator-relative rank of a sender's world rank."""
+        return self.group.rank_of(world_rank)
+
+    @property
+    def _peer_size(self) -> int:
+        """Valid range bound for dest/source arguments."""
+        return self.size
+
+    def _check_live(self) -> None:
+        if self.freed:
+            raise MPICommError("operation on a freed communicator")
+
+    # =====================================================================
+    # point-to-point, object flavour (lowercase)
+    # =====================================================================
+
+    def send(self, obj: Any, dest: int, tag: int = 0,
+             size: int | None = None) -> Generator:
+        """Blocking standard-mode send.
+
+        ``size`` overrides the inferred wire size (benchmarks use this to
+        decouple payload objects from modelled bytes).  A declared size
+        of 0 sends an empty message: the receiver gets ``None``, exactly
+        as a real 0-byte MPI message carries no data.
+        """
+        self._check_live()
+        yield from _p2p.send_impl(self, obj, dest, tag, size, self.context_id)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             size: int | None = None) -> Generator:
+        """Blocking receive; evaluates to ``(data, Status)``.
+
+        ``size`` is the receive capacity in bytes: a longer incoming
+        message raises :class:`~repro.errors.MPITruncationError`.
+        """
+        self._check_live()
+        request = _p2p.irecv_impl(self, source, tag, size, self.context_id)
+        result = yield from _p2p.recv_wait(self, request)
+        return result
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0,
+              size: int | None = None) -> Generator:
+        """Synchronous send: completes only once the receive has started
+        (forces the rendezvous protocol regardless of size)."""
+        self._check_live()
+        yield from _p2p.send_impl(self, obj, dest, tag, size, self.context_id,
+                                  synchronous=True)
+
+    def bsend(self, obj: Any, dest: int, tag: int = 0,
+              size: int | None = None) -> Generator:
+        """Buffered send: copies into the attached buffer and returns
+        immediately (MPI_Bsend).  Requires :meth:`MPIEnv.attach_buffer`;
+        raises when the buffer cannot hold the message.
+        """
+        self._check_live()
+        from repro.mpi.constants import infer_size
+        nbytes = infer_size(obj) if size is None else int(size)
+        self.env._bsend_reserve(nbytes)
+        # The defining cost of bsend: an extra local copy.
+        yield charge(self.env.progress.memory.copy_cost(nbytes))
+        request = _p2p.isend_impl(self, obj, dest, tag, size, self.context_id)
+
+        def reclaim():
+            yield from request.wait()
+            self.env._bsend_release(nbytes)
+
+        self.env.process.runtime.spawn_temporary(reclaim(), name="bsend")
+
+    def isend(self, obj: Any, dest: int, tag: int = 0,
+              size: int | None = None) -> SendRequest:
+        """Non-blocking send (runs in a temporary Marcel thread, §4.2.3)."""
+        self._check_live()
+        return _p2p.isend_impl(self, obj, dest, tag, size, self.context_id)
+
+    def issend(self, obj: Any, dest: int, tag: int = 0,
+               size: int | None = None) -> SendRequest:
+        """Non-blocking synchronous send."""
+        self._check_live()
+        return _p2p.isend_impl(self, obj, dest, tag, size, self.context_id,
+                               synchronous=True)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              size: int | None = None) -> RecvRequest:
+        """Non-blocking receive."""
+        self._check_live()
+        return _p2p.irecv_impl(self, source, tag, size, self.context_id)
+
+    def sendrecv(self, sendobj: Any, dest: int, sendtag: int = 0,
+                 source: int = ANY_SOURCE, recvtag: int = ANY_TAG,
+                 size: int | None = None,
+                 recvsize: int | None = None) -> Generator:
+        """Combined send+receive (deadlock-free); evaluates to
+        ``(data, Status)``."""
+        self._check_live()
+        send_request = self.isend(sendobj, dest, sendtag, size=size)
+        result = yield from self.recv(source, recvtag, size=recvsize)
+        yield from send_request.wait()
+        return result
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking probe; evaluates to a :class:`Status`."""
+        self._check_live()
+        status = yield from _p2p.probe_impl(self, source, tag, self.context_id)
+        return status
+
+    def iprobe(self, source: int = ANY_SOURCE,
+               tag: int = ANY_TAG) -> tuple[bool, Status | None]:
+        """Non-blocking probe."""
+        self._check_live()
+        return _p2p.iprobe_impl(self, source, tag, self.context_id)
+
+    # =====================================================================
+    # point-to-point, buffer flavour (uppercase, numpy + datatypes)
+    # =====================================================================
+
+    def _resolve_buffer(self, buf) -> tuple[np.ndarray, int, Datatype]:
+        """Normalize ``array`` / ``(array, datatype)`` / ``(array, count,
+        datatype)`` buffer specifications (mpi4py style)."""
+        if isinstance(buf, (tuple, list)):
+            if len(buf) == 2:
+                array, datatype = buf
+                count = None
+            elif len(buf) == 3:
+                array, count, datatype = buf
+            else:
+                raise MPIDatatypeError(
+                    "buffer spec must be array, (array, type) or "
+                    "(array, count, type)"
+                )
+        else:
+            array, count, datatype = buf, None, None
+        array = np.asarray(array)
+        if datatype is None:
+            datatype = _dtype_to_datatype(array.dtype)
+        if count is None:
+            if datatype.extent == 0:
+                count = 0
+            else:
+                count = (array.size * array.itemsize) // max(datatype.extent, 1)
+        return array, int(count), datatype
+
+    def Send(self, buf, dest: int, tag: int = 0) -> Generator:
+        """Send a numpy buffer described by an MPI datatype."""
+        self._check_live()
+        array, count, datatype = self._resolve_buffer(buf)
+        if datatype.is_contiguous:
+            packed = array.reshape(-1)[:count * _elems(datatype)]
+        else:
+            # Gathering a non-contiguous layout costs a real copy.
+            yield from self._charge_pack(count * datatype.size)
+            packed = datatype.pack(array, count)
+        yield from self.send(packed, dest, tag, size=count * datatype.size)
+
+    def Recv(self, buf, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Generator:
+        """Receive into a numpy buffer; evaluates to a :class:`Status`."""
+        self._check_live()
+        array, count, datatype = self._resolve_buffer(buf)
+        data, status = yield from self.recv(source, tag,
+                                            size=count * datatype.size)
+        incoming = np.asarray(data)
+        if datatype.is_contiguous:
+            flat = array.reshape(-1)
+            flat[:incoming.size] = incoming
+        else:
+            yield from self._charge_pack(count * datatype.size)
+            datatype.unpack(incoming, array, count)
+        return status
+
+    def _charge_pack(self, nbytes: int) -> Generator:
+        yield charge(self.env.progress.memory.copy_cost(nbytes))
+
+    # =====================================================================
+    # collectives (object flavour; see repro.mpi.collectives)
+    # =====================================================================
+
+    def _coll_tag(self) -> int:
+        """Fresh tag for one collective invocation (same sequence on all
+        ranks — MPI requires identical collective call order)."""
+        self._coll_seq += 1
+        return self._coll_seq
+
+    def barrier(self) -> Generator:
+        yield from _coll.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Generator:
+        result = yield from _coll.bcast(self, obj, root)
+        return result
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Generator:
+        result = yield from _coll.reduce(self, obj, op, root)
+        return result
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Generator:
+        result = yield from _coll.allreduce(self, obj, op)
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Generator:
+        result = yield from _coll.gather(self, obj, root)
+        return result
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Generator:
+        result = yield from _coll.scatter(self, objs, root)
+        return result
+
+    def allgather(self, obj: Any) -> Generator:
+        result = yield from _coll.allgather(self, obj)
+        return result
+
+    def alltoall(self, objs: Sequence[Any]) -> Generator:
+        result = yield from _coll.alltoall(self, objs)
+        return result
+
+    def reduce_scatter(self, objs: Sequence[Any], op: Op = SUM) -> Generator:
+        result = yield from _coll.reduce_scatter(self, objs, op)
+        return result
+
+    def alltoallv(self, objs: Sequence[Any]) -> Generator:
+        result = yield from _coll.alltoallv(self, objs)
+        return result
+
+    def scan(self, obj: Any, op: Op = SUM) -> Generator:
+        result = yield from _coll.scan(self, obj, op)
+        return result
+
+    def exscan(self, obj: Any, op: Op = SUM) -> Generator:
+        result = yield from _coll.exscan(self, obj, op)
+        return result
+
+    # Buffer-flavour collectives (numpy arrays, elementwise ops).
+
+    def Bcast(self, array: np.ndarray, root: int = 0) -> Generator:
+        yield from _coll.Bcast(self, array, root)
+
+    def Reduce(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
+               op: Op = SUM, root: int = 0) -> Generator:
+        yield from _coll.Reduce(self, sendarr, recvarr, op, root)
+
+    def Allreduce(self, sendarr: np.ndarray, recvarr: np.ndarray,
+                  op: Op = SUM) -> Generator:
+        yield from _coll.Allreduce(self, sendarr, recvarr, op)
+
+    def Gather(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
+               root: int = 0) -> Generator:
+        yield from _coll.Gather(self, sendarr, recvarr, root)
+
+    def Scatter(self, sendarr: np.ndarray | None,
+                recvarr: np.ndarray, root: int = 0) -> Generator:
+        yield from _coll.Scatter(self, sendarr, recvarr, root)
+
+    def Allgather(self, sendarr: np.ndarray,
+                  recvarr: np.ndarray) -> Generator:
+        yield from _coll.Allgather(self, sendarr, recvarr)
+
+    def Gatherv(self, sendarr: np.ndarray, recvspec: tuple | None,
+                root: int = 0) -> Generator:
+        yield from _coll.Gatherv(self, sendarr, recvspec, root)
+
+    def Scatterv(self, sendspec: tuple | None, recvarr: np.ndarray,
+                 root: int = 0) -> Generator:
+        yield from _coll.Scatterv(self, sendspec, recvarr, root)
+
+    def create_cart(self, dims, periods=None, reorder: bool = False) -> Generator:
+        """Collective: attach a Cartesian topology (MPI_Cart_create)."""
+        from repro.mpi.cartesian import create_cart
+        cart = yield from create_cart(self, dims, periods, reorder)
+        return cart
+
+    # =====================================================================
+    # communicator management
+    # =====================================================================
+
+    def dup(self) -> Generator:
+        """Collective: duplicate this communicator with a fresh context."""
+        self._check_live()
+        yield from self.barrier()
+        return Communicator(self.env, self.group, self.env.allocate_context())
+
+    def split(self, color: int, key: int | None = None) -> Generator:
+        """Collective: partition by ``color``, order by ``key`` (MPI_Comm_split).
+
+        Evaluates to the new communicator, or None for ``UNDEFINED`` color.
+        """
+        self._check_live()
+        key = self.rank if key is None else key
+        pairs = yield from _coll.allgather(self, (color, key, self.rank))
+        context = self.env.allocate_context()
+        if color == UNDEFINED:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in pairs if c == color
+        )
+        world_ranks = [self.group.world_rank(r) for _, r in members]
+        return Communicator(self.env, Group(world_ranks), context)
+
+    def create(self, group: Group) -> Generator:
+        """Collective over this comm: new communicator for ``group``."""
+        self._check_live()
+        yield from self.barrier()
+        context = self.env.allocate_context()
+        if self.env.rank not in group:
+            return None
+        return Communicator(self.env, group, context)
+
+    def free(self) -> None:
+        """Mark the communicator unusable (MPI_Comm_free)."""
+        self.freed = True
+
+    # -- attribute caching (MPI_Comm_set_attr and friends) ----------------
+
+    def set_attr(self, key: Any, value: Any) -> None:
+        """Cache an attribute on this communicator."""
+        self._check_live()
+        self._attributes[key] = value
+
+    def get_attr(self, key: Any, default: Any = None) -> Any:
+        """Read a cached attribute (None/default if absent)."""
+        return self._attributes.get(key, default)
+
+    def delete_attr(self, key: Any) -> None:
+        """Remove a cached attribute.  Missing keys are ignored."""
+        self._attributes.pop(key, None)
+
+    # -- persistent requests (MPI_Send_init / MPI_Recv_init) -----------------
+
+    def send_init(self, obj: Any, dest: int, tag: int = 0,
+                  size: int | None = None):
+        """Create a persistent send request (start()/wait() repeatedly)."""
+        self._check_live()
+        from repro.mpi.persistent import PersistentSend
+        return PersistentSend(self, obj, dest, tag, size)
+
+    def recv_init(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                  size: int | None = None):
+        """Create a persistent receive request."""
+        self._check_live()
+        from repro.mpi.persistent import PersistentRecv
+        return PersistentRecv(self, source, tag, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Communicator ctx={self.context_id} rank={self.rank}/"
+                f"{self.size}>")
+
+
+def _elems(datatype: Datatype) -> int:
+    return int(datatype.byte_offsets.size)
+
+
+def _dtype_to_datatype(dtype: np.dtype) -> Datatype:
+    from repro.mpi import datatypes as dt
+    table = {
+        np.dtype("uint8"): dt.BYTE,
+        np.dtype("int8"): dt.CHAR,
+        np.dtype("int16"): dt.SHORT,
+        np.dtype("int32"): dt.INT,
+        np.dtype("int64"): dt.LONG,
+        np.dtype("float32"): dt.FLOAT,
+        np.dtype("float64"): dt.DOUBLE,
+        np.dtype("complex64"): dt.COMPLEX,
+        np.dtype("complex128"): dt.DOUBLE_COMPLEX,
+    }
+    try:
+        return table[dtype]
+    except KeyError:
+        raise MPIDatatypeError(f"no MPI datatype for numpy dtype {dtype}") from None

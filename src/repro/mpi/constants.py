@@ -1,0 +1,60 @@
+"""MPI-level constants."""
+
+from __future__ import annotations
+
+#: Wildcard source rank for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+#: Null process: sends/receives to it complete immediately with no data.
+PROC_NULL = -2
+#: Returned by comparisons / split with no membership.
+UNDEFINED = -3
+
+#: Highest tag value applications may use (MPI guarantees >= 32767).
+TAG_UB = 2**20
+
+#: Context id of MPI_COMM_WORLD point-to-point traffic.
+WORLD_CONTEXT = 0
+
+#: Offset between a communicator's point-to-point context and the hidden
+#: context its collective operations run in (the MPICH trick that keeps
+#: collective traffic from matching user receives).
+COLLECTIVE_CONTEXT_OFFSET = 1
+
+#: Number of context ids consumed per communicator.
+CONTEXTS_PER_COMM = 2
+
+#: Default size attributed to an object whose size cannot be inferred.
+DEFAULT_OBJECT_SIZE = 64
+
+
+def infer_size(obj: object) -> int:
+    """Best-effort wire size of a Python object, in bytes.
+
+    Exact for bytes-like objects and numpy arrays; container types get a
+    recursive estimate; everything else a flat default.  MPI calls accept
+    an explicit ``size=`` to override (benchmarks always pass it).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8", errors="replace"))
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(infer_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(infer_size(k) + infer_size(v) for k, v in obj.items())
+    return DEFAULT_OBJECT_SIZE

@@ -1,0 +1,34 @@
+"""ch_mad — the paper's contribution (§4).
+
+A *single* MPICH device that handles every inter-node message by mapping
+each destination onto a Madeleine channel (one channel per network
+protocol).  Network heterogeneity is hidden below the device: the ADI
+sees one device, Madeleine speaks TCP, SISCI and BIP simultaneously.
+
+Components:
+
+- :mod:`~repro.mpi.devices.ch_mad.packets` — the MAD_*_PKT wire
+  structures of Figure 5 (header sent EXPRESS, body CHEAPER);
+- :mod:`~repro.mpi.devices.ch_mad.switchpoints` — per-network
+  eager/rendezvous switch points and the election rule of §4.2.2;
+- :mod:`~repro.mpi.devices.ch_mad.polling` — the per-channel polling
+  thread handler (§4.2.3), including the spawn-a-thread-to-send rule;
+- :mod:`~repro.mpi.devices.ch_mad.device` — the device proper: channel
+  selection, eager mode with the header/body split, and the three-step
+  rendezvous built on MPID_RNDV_T sync structures.
+"""
+
+from repro.mpi.devices.ch_mad.device import ChMadDevice
+from repro.mpi.devices.ch_mad.packets import ChMadHeader, MadPktType
+from repro.mpi.devices.ch_mad.switchpoints import (
+    SWITCH_POINTS,
+    elect_threshold,
+)
+
+__all__ = [
+    "ChMadDevice",
+    "ChMadHeader",
+    "MadPktType",
+    "SWITCH_POINTS",
+    "elect_threshold",
+]

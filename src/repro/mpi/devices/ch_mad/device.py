@@ -1,0 +1,294 @@
+"""The ch_mad device proper (paper §4).
+
+Responsibilities:
+
+- map each destination process onto a Madeleine channel (the fastest
+  network both ends have a board for — channel selection is the
+  multi-protocol heart of the device);
+- eager mode: one Madeleine message of header (EXPRESS) + body
+  (CHEAPER) — the §4.2.2 split of the ADI short packet that avoids
+  shipping a padded MPID_PKT_MAX_DATA_SIZE buffer;
+- rendezvous mode: MAD_REQUEST_PKT → MAD_SENDOK_PKT (carrying the
+  receiver's MPID_RNDV_T sync address) → MAD_RNDV_PKT zero-copy data;
+- one polling thread per channel (§4.2.3);
+- the single elected eager/rendezvous threshold (§4.2.2), with an
+  opt-in per-network mode used by the ablation benchmarks;
+- EXTENSION (paper §6 future work): gateway forwarding for destinations
+  with no shared network, via :mod:`repro.mpi.devices.ch_mad.forwarding`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, MPIError, RouteError
+from repro.networks import base_protocol
+from repro.madeleine.channel import ChannelPort
+from repro.madeleine.constants import RECEIVE_CHEAPER, RECEIVE_EXPRESS, SEND_CHEAPER
+from repro.mpi.adi.device import Device, ProgressEngine
+from repro.mpi.adi.packets import Envelope
+from repro.mpi.adi.rhandle import SendHandle
+from repro.mpi.devices.ch_mad.forwarding import ForwardWrapper
+from repro.mpi.devices.ch_mad.packets import (
+    CH_MAD_HEADER_BYTES,
+    FWD_ROUTING_BYTES,
+    ChMadHeader,
+    MadPktType,
+)
+from repro.mpi.devices.ch_mad.polling import ChannelPoller
+from repro.mpi.devices.ch_mad.switchpoints import (
+    CH_MAD_TUNING,
+    CHANNEL_PREFERENCE,
+    SWITCH_POINTS,
+    ChMadTuning,
+    elect_threshold,
+)
+from repro.sim.coroutines import charge, wait
+
+
+@dataclass(frozen=True)
+class ChMadRndvToken:
+    """Identity of a pending rendezvous request (who to acknowledge)."""
+
+    device: "ChMadDevice"
+    requester_world: int
+    send_id: int
+
+
+class ChMadDevice(Device):
+    """All inter-node communication, over Madeleine channels."""
+
+    name = "ch_mad"
+
+    def __init__(self, progress: ProgressEngine, world_rank: int,
+                 ports: dict[str, ChannelPort],
+                 tuning: dict[str, ChMadTuning] | None = None,
+                 per_network_thresholds: bool = False,
+                 switch_points: dict[str, int] | None = None,
+                 preference: tuple[str, ...] | None = None,
+                 forward_routes: dict[int, int] | None = None,
+                 padded_short_packets: bool = False):
+        if not ports:
+            raise ConfigurationError("ch_mad needs at least one channel port")
+        self.progress = progress
+        self.world_rank = world_rank
+        self.ports = dict(ports)
+        self.tuning = dict(tuning or CH_MAD_TUNING)
+        self.switch_points = dict(switch_points or SWITCH_POINTS)
+        #: The ADI's single threshold field: the elected value (§4.2.2).
+        self.eager_threshold = elect_threshold(ports.keys(),
+                                               self.switch_points)
+        #: Ablation switch: pretend the ADI could store one threshold per
+        #: network (what the paper wishes for) — see the ablation bench.
+        self.per_network_thresholds = per_network_thresholds
+        #: Ablation switch: ship eager bodies inside a fixed
+        #: MPID_PKT_MAX_DATA_SIZE buffer instead of the §4.2.2 split —
+        #: reproduces the padding waste the paper's design avoids.
+        self.padded_short_packets = padded_short_packets
+        #: Channel-selection order (fastest-first by default); overridable
+        #: to steer traffic onto a specific network (Figure 9 experiment).
+        self.preference = tuple(preference or CHANNEL_PREFERENCE)
+        #: Next-hop table for destinations with no shared network
+        #: (forwarding extension; empty = paper's §6 limitation applies).
+        self.forward_routes = dict(forward_routes or {})
+        self._pending_sends: dict[int, SendHandle] = {}
+        self._pollers: list[ChannelPoller] = []
+        self.term_received = 0
+        self.packets_relayed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one polling thread per channel (§4.2.3)."""
+        for protocol in sorted(self.ports):
+            self._pollers.append(ChannelPoller(self, self.ports[protocol]))
+
+    def shutdown(self) -> None:
+        for poller in self._pollers:
+            poller.stop()
+        self._pollers.clear()
+
+    # -- channel selection ---------------------------------------------------------
+
+    def direct_port(self, dest_world: int) -> ChannelPort | None:
+        """Fastest channel shared with the destination, if any.
+
+        Rails of one protocol (``"bip"``, ``"bip#1"``) share a preference
+        slot; the lowest-named rail that reaches the destination wins.
+        """
+        for protocol in self.preference:
+            for name in sorted(self.ports):
+                if base_protocol(name) != protocol:
+                    continue
+                port = self.ports[name]
+                if dest_world in port.channel.ports:
+                    return port
+        return None
+
+    def select_port(self, dest_world: int) -> ChannelPort:
+        port = self.direct_port(dest_world)
+        if port is None:
+            raise ConfigurationError(
+                f"rank {self.world_rank} shares no network with rank "
+                f"{dest_world} (enable forwarding, or see "
+                "repro.mpi.devices.ch_mad.forwarding)"
+            )
+        return port
+
+    def threshold_for(self, dest_world: int) -> int:
+        """Effective eager/rendezvous switch point towards ``dest_world``."""
+        if not self.per_network_thresholds:
+            return self.eager_threshold
+        port = self.direct_port(dest_world)
+        if port is None:
+            return self.eager_threshold
+        return self.switch_points[base_protocol(port.channel.protocol)]
+
+    def _padded_body_size(self, size: int) -> int:
+        """Eager body size on the wire under the padded-short ablation.
+
+        The padded MPID_PKT_SHORT_T buffer must fit the largest switch
+        point among the supported networks (§4.2.2's problem statement).
+        """
+        if not self.padded_short_packets:
+            return size
+        return max(self.switch_points[base_protocol(p)] for p in self.ports)
+
+    # -- packet transmission core ----------------------------------------------------
+
+    def _transmit_packet(self, dest_world: int, header: ChMadHeader,
+                         body: Any, body_size: int,
+                         wire_body_size: int | None = None) -> Generator:
+        """Send one ch_mad packet, forwarding through a gateway if needed."""
+        port = self.direct_port(dest_world)
+        if port is None:
+            if dest_world not in self.forward_routes:
+                self.select_port(dest_world)  # raises the descriptive error
+            wrapper = ForwardWrapper(final_dest=dest_world,
+                                     origin=self.world_rank,
+                                     header=header, body=body,
+                                     body_size=body_size)
+            yield from self.send_wrapped(dest_world, wrapper)
+            return
+        tuning = self.tuning[base_protocol(port.channel.protocol)]
+        self.progress.runtime.engine.tracer.emit(
+            "chmad.send", src=self.world_rank, dst=dest_world,
+            pkt=header.pkt_type.name, protocol=port.channel.protocol,
+            body=body_size,
+        )
+        yield charge(tuning.send_handling)
+        message = port.begin_packing(dest_world)
+        yield from message.pack(header, CH_MAD_HEADER_BYTES,
+                                SEND_CHEAPER, RECEIVE_EXPRESS)
+        if body_size > 0 or (wire_body_size or 0) > 0:
+            yield from message.pack(body, wire_body_size
+                                    if wire_body_size is not None
+                                    else body_size,
+                                    SEND_CHEAPER, RECEIVE_CHEAPER)
+        yield from message.end_packing()
+
+    def send_wrapped(self, final_dest: int, wrapper: ForwardWrapper) -> Generator:
+        """Transmit a forwarded packet to the next hop towards its dest."""
+        if self.direct_port(final_dest) is not None:
+            hop = final_dest  # last hop: deliver the wrapper directly
+        else:
+            hop = self.forward_routes.get(final_dest)
+        if hop is None:
+            raise RouteError(
+                f"rank {self.world_rank}: no route to rank {final_dest} "
+                "(forwarding disabled or topology disconnected)"
+            )
+        port = self.direct_port(hop)
+        if port is None:
+            raise RouteError(
+                f"rank {self.world_rank}: next hop {hop} for rank "
+                f"{final_dest} is not directly reachable"
+            )
+        tuning = self.tuning[base_protocol(port.channel.protocol)]
+        yield charge(tuning.send_handling)
+        message = port.begin_packing(hop)
+        yield from message.pack(wrapper,
+                                CH_MAD_HEADER_BYTES + FWD_ROUTING_BYTES,
+                                SEND_CHEAPER, RECEIVE_EXPRESS)
+        if wrapper.body_size > 0:
+            yield from message.pack(wrapper.body, wrapper.body_size,
+                                    SEND_CHEAPER, RECEIVE_CHEAPER)
+        yield from message.end_packing()
+
+    # -- send paths ------------------------------------------------------------------
+
+    def send_eager(self, dest_world: int, envelope: Envelope,
+                   data: Any) -> Generator:
+        """Eager mode: MAD_SHORT_PKT header + optional CHEAPER body."""
+        header = ChMadHeader(MadPktType.MAD_SHORT_PKT, envelope=envelope)
+        # The §4.2.2 split: the user buffer goes as the message body
+        # (zero-copy on the sending side), never as padding inside a
+        # MPID_PKT_MAX_DATA_SIZE-sized short packet — unless the padded
+        # ablation is on, which shows exactly that waste.
+        wire_size = self._padded_body_size(envelope.size) if envelope.size else 0
+        yield from self._transmit_packet(dest_world, header, data,
+                                         envelope.size,
+                                         wire_body_size=wire_size)
+
+    def send_rndv(self, dest_world: int, shandle: SendHandle) -> Generator:
+        """Rendezvous, sender side: request, await ack, send data (§4.2.2)."""
+        self._pending_sends[shandle.send_id] = shandle
+        yield from self._transmit_packet(
+            dest_world,
+            ChMadHeader(MadPktType.MAD_REQUEST_PKT, envelope=shandle.envelope,
+                        send_id=shandle.send_id),
+            None, 0,
+        )
+        shandle.notify_request_sent()  # match slot secured: release ordering
+        # Step 2: the receiver replies with the sync structure's address.
+        sync_id = yield wait(shandle.ack_flag)
+        # Step 3: data destination is known — zero-copy transfer.
+        protocol = self._protocol_towards(dest_world)
+        tuning = self.tuning[base_protocol(protocol)]
+        if tuning.rndv_body_ns_per_byte:
+            # Driver-side per-byte feeding cost (BIP credit machinery).
+            yield charge(round(shandle.envelope.size
+                               * tuning.rndv_body_ns_per_byte))
+        yield from self._transmit_packet(
+            dest_world,
+            ChMadHeader(MadPktType.MAD_RNDV_PKT, envelope=shandle.envelope,
+                        sync_id=sync_id),
+            shandle.data, shandle.envelope.size,
+        )
+        shandle.flag.set()
+
+    def send_rndv_ack(self, token: ChMadRndvToken, sync_id: int) -> Generator:
+        """Rendezvous, receiver side: MAD_SENDOK_PKT with our sync id."""
+        yield from self._transmit_packet(
+            token.requester_world,
+            ChMadHeader(MadPktType.MAD_SENDOK_PKT, send_id=token.send_id,
+                        sync_id=sync_id),
+            None, 0,
+        )
+
+    def send_term(self, dest_world: int) -> Generator:
+        """MAD_TERM_PKT: program termination notification (MPI_Finalize)."""
+        yield from self._transmit_packet(
+            dest_world, ChMadHeader(MadPktType.MAD_TERM_PKT), None, 0,
+        )
+
+    def _protocol_towards(self, dest_world: int) -> str:
+        port = self.direct_port(dest_world)
+        if port is not None:
+            return port.channel.protocol
+        hop = self.forward_routes.get(dest_world)
+        if hop is not None:
+            hop_port = self.direct_port(hop)
+            if hop_port is not None:
+                return hop_port.channel.protocol
+        raise RouteError(f"no path towards rank {dest_world}")
+
+    # -- polling-thread callbacks -------------------------------------------------------
+
+    def _complete_ack(self, send_id: int, sync_id: int) -> None:
+        shandle = self._pending_sends.pop(send_id, None)
+        if shandle is None:
+            raise MPIError(f"MAD_SENDOK_PKT for unknown send id {send_id}")
+        shandle.ack_flag.set(sync_id)

@@ -1,0 +1,64 @@
+"""Gateway forwarding across heterogeneous networks (the paper's §6
+future work, implemented).
+
+"Currently, our prototype is not able to forward packets across
+heterogeneous networks ... We are working on a low-level
+high-performance forwarding mechanism within Madeleine that will allow
+messages to cross gateway nodes while keeping the associated overhead as
+low as possible."
+
+Design: every ch_mad message may carry a :class:`ForwardWrapper` naming
+its *final* destination.  When a device has no direct channel to the
+destination, it wraps the packet and sends it to the next hop from the
+routing table (computed by :func:`repro.cluster.topology.compute_gateway_routes`).
+A gateway's polling thread recognizes wrappers addressed elsewhere and
+spawns a temporary thread (send-from-polling-thread is still forbidden)
+that relays the message over the gateway's own best channel — a
+store-and-forward hop costing one receive path plus one send path on the
+gateway, with no extra copies of the body beyond the receive buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.mpi.devices.ch_mad.packets import ChMadHeader
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.devices.ch_mad.device import ChMadDevice
+
+
+@dataclass(frozen=True)
+class ForwardWrapper:
+    """A ch_mad packet in transit through gateways.
+
+    ``header``/``body`` are the original packet pieces; ``final_dest``
+    is the world rank that should process them; ``hops`` counts relays
+    so routing loops die loudly instead of silently.
+    """
+
+    final_dest: int
+    origin: int
+    header: ChMadHeader
+    body: Any
+    body_size: int
+    hops: int = 0
+
+    MAX_HOPS = 8
+
+    def next_hop(self) -> "ForwardWrapper":
+        if self.hops + 1 > self.MAX_HOPS:
+            from repro.errors import RouteError
+            raise RouteError(
+                f"forwarding loop: packet for rank {self.final_dest} "
+                f"exceeded {self.MAX_HOPS} hops"
+            )
+        return ForwardWrapper(self.final_dest, self.origin, self.header,
+                              self.body, self.body_size, self.hops + 1)
+
+
+def relay(device: "ChMadDevice", wrapper: ForwardWrapper):
+    """Generator run in a gateway temporary thread: one store-and-forward
+    hop towards the wrapper's final destination."""
+    yield from device.send_wrapped(wrapper.final_dest, wrapper.next_hop())

@@ -1,0 +1,87 @@
+"""MPI process groups (MPI_Group)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import MPIRankError
+from repro.mpi.constants import UNDEFINED
+
+#: Comparison results (MPI_Group_compare / MPI_Comm_compare).
+IDENT = 0
+SIMILAR = 1
+UNEQUAL = 2
+
+
+class Group:
+    """An ordered set of world ranks."""
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MPIRankError(f"duplicate ranks in group: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise MPIRankError(f"negative world rank in group: {ranks}")
+        self.world_ranks = ranks
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of ``world_rank`` (UNDEFINED if absent)."""
+        try:
+            return self.world_ranks.index(world_rank)
+        except ValueError:
+            return UNDEFINED
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of group member ``group_rank``."""
+        if not 0 <= group_rank < self.size:
+            raise MPIRankError(
+                f"group rank {group_rank} out of range [0, {self.size})"
+            )
+        return self.world_ranks[group_rank]
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self.world_ranks
+
+    def compare(self, other: "Group") -> int:
+        """IDENT if same ranks in same order, SIMILAR if same set, else
+        UNEQUAL."""
+        if self.world_ranks == other.world_ranks:
+            return IDENT
+        if set(self.world_ranks) == set(other.world_ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    def translate_ranks(self, ranks: Iterable[int], other: "Group") -> list[int]:
+        """Map our group ranks to the corresponding ranks in ``other``."""
+        return [other.rank_of(self.world_rank(r)) for r in ranks]
+
+    # -- set operations ------------------------------------------------------------
+
+    def union(self, other: "Group") -> "Group":
+        """Our members, then other's members not already present."""
+        extra = [r for r in other.world_ranks if r not in self.world_ranks]
+        return Group(self.world_ranks + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group(tuple(r for r in self.world_ranks if r in other.world_ranks))
+
+    def difference(self, other: "Group") -> "Group":
+        return Group(tuple(r for r in self.world_ranks if r not in other.world_ranks))
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup of the listed group ranks, in the listed order."""
+        return Group(tuple(self.world_rank(r) for r in ranks))
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """Subgroup without the listed group ranks."""
+        drop = {self.world_rank(r) for r in ranks}
+        return Group(tuple(r for r in self.world_ranks if r not in drop))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Group {self.world_ranks}>"

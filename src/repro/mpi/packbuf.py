@@ -1,0 +1,71 @@
+"""MPI_Pack / MPI_Unpack: explicit user-driven packing.
+
+The ADI's datatype engine gathers/scatters automatically inside
+``Send``/``Recv``; these functions expose the same machinery to
+applications that want to build heterogeneous message buffers by hand
+(the MPI-1 idiom for sending a struct-of-arrays in one message).
+
+A packed buffer is a plain ``uint8`` numpy array; ``position`` cursors
+follow the MPI convention (in/out byte offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIDatatypeError
+from repro.mpi.datatypes import Datatype
+
+
+def pack_size(count: int, datatype: Datatype) -> int:
+    """Upper bound on the packed size (MPI_Pack_size) — exact here."""
+    if count < 0:
+        raise MPIDatatypeError("negative count")
+    return count * datatype.size
+
+
+def pack(inbuf: np.ndarray, count: int, datatype: Datatype,
+         outbuf: np.ndarray, position: int) -> int:
+    """Pack ``count`` items of ``datatype`` from ``inbuf`` into ``outbuf``
+    starting at byte ``position``; returns the new position."""
+    datatype._require_committed()
+    nbytes = pack_size(count, datatype)
+    out = _as_bytes(outbuf)
+    if position < 0 or position + nbytes > out.size:
+        raise MPIDatatypeError(
+            f"pack of {nbytes} bytes at position {position} overflows "
+            f"buffer of {out.size}"
+        )
+    data = datatype.pack(inbuf, count)
+    out[position:position + nbytes] = np.frombuffer(
+        np.ascontiguousarray(data).tobytes(), dtype=np.uint8
+    )
+    return position + nbytes
+
+
+def unpack(inbuf: np.ndarray, position: int, outbuf: np.ndarray,
+           count: int, datatype: Datatype) -> int:
+    """Unpack ``count`` items of ``datatype`` from byte ``position`` of
+    ``inbuf`` into ``outbuf``; returns the new position."""
+    datatype._require_committed()
+    nbytes = pack_size(count, datatype)
+    raw = _as_bytes(inbuf)
+    if position < 0 or position + nbytes > raw.size:
+        raise MPIDatatypeError(
+            f"unpack of {nbytes} bytes at position {position} overruns "
+            f"buffer of {raw.size}"
+        )
+    window = raw[position:position + nbytes]
+    if datatype.base_dtype is None:
+        data = window.copy()
+    else:
+        data = np.frombuffer(window.tobytes(), dtype=datatype.base_dtype)
+    datatype.unpack(data, outbuf, count)
+    return position + nbytes
+
+
+def _as_bytes(buffer: np.ndarray) -> np.ndarray:
+    arr = np.asarray(buffer)
+    if arr.dtype != np.uint8:
+        raise MPIDatatypeError("pack buffers must be uint8 arrays")
+    return arr.reshape(-1)

@@ -1,0 +1,273 @@
+"""Point-to-point implementation: the glue between the user API and the
+ADI (MPICH's "generic ADI code" box).
+
+All functions here are generators run in the calling (main or temporary)
+thread of the sending/receiving process.  The check-unexpected-then-post
+sequence in :func:`irecv_impl` is atomic because the scheduler is
+cooperative and the sequence contains no blocking yield — the exact
+invariant real MPICH maintains with locks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import MPIRankError, MPITagError
+from repro.mpi.adi.device import clone_payload
+from repro.mpi.adi.packets import Envelope
+from repro.mpi.adi.protocol import TransferMode, select_mode
+from repro.mpi.adi.queues import UnexpectedKind
+from repro.mpi.adi.rhandle import RecvHandle, SendHandle
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, infer_size
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.status import Status
+from repro.sim.coroutines import charge, wait
+from repro.sim.sync import Flag
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Communicator
+
+
+def _check_rank(comm: "Communicator", rank: int, *, wildcard: bool,
+                what: str) -> None:
+    if rank == PROC_NULL:
+        return
+    if wildcard and rank == ANY_SOURCE:
+        return
+    if not 0 <= rank < comm._peer_size:
+        raise MPIRankError(
+            f"{what} rank {rank} out of range for communicator of size "
+            f"{comm._peer_size}"
+        )
+
+
+def _check_tag(tag: int, *, wildcard: bool) -> None:
+    if wildcard and tag == ANY_TAG:
+        return
+    if not 0 <= tag <= TAG_UB:
+        raise MPITagError(f"tag {tag} outside [0, {TAG_UB}]")
+
+
+def _threshold(device, dest_world: int) -> int:
+    """Device threshold, honouring ch_mad's per-destination override."""
+    threshold_for = getattr(device, "threshold_for", None)
+    if threshold_for is not None:
+        return threshold_for(dest_world)
+    return device.eager_threshold
+
+
+class SendGate:
+    """FIFO ticket gate enforcing MPI's non-overtaking send order.
+
+    ``isend`` runs its transfer in a temporary Marcel thread, so without
+    ordering a later blocking send could reach the wire first.  Each send
+    towards one (context, destination) takes a ticket at *call* time and
+    transmits only when its ticket is current; the gate is released as
+    soon as the message's matching slot at the receiver is secured (an
+    eager message fully sent, or a rendezvous *request* sent).
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.current = 0
+        self._flags: dict[int, Flag] = {}
+
+    def ticket(self) -> int:
+        ticket = self._next
+        self._next += 1
+        return ticket
+
+    def enter(self, ticket: int) -> Generator:
+        while self.current != ticket:
+            flag = self._flags.setdefault(ticket, Flag(name="send-gate"))
+            yield wait(flag)
+
+    def leave(self) -> None:
+        self.current += 1
+        flag = self._flags.pop(self.current, None)
+        if flag is not None:
+            flag.set()
+
+    def releaser(self):
+        """A call-once wrapper around :meth:`leave`."""
+        done = [False]
+
+        def release() -> None:
+            if not done[0]:
+                done[0] = True
+                self.leave()
+
+        return release
+
+
+def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
+              size: int | None, context_id: int,
+              synchronous: bool = False,
+              ticket: int | None = None) -> Generator:
+    """Blocking send body (also run inside isend's temporary thread).
+
+    ``synchronous`` forces the rendezvous protocol regardless of size —
+    MPI_Ssend semantics: completion implies the receive has started
+    (the acknowledgement only comes once a matching receive exists).
+
+    ``ticket`` is an ordering ticket already issued at isend call time;
+    blocking sends issue their own on entry.
+    """
+    _check_rank(comm, dest, wildcard=False, what="destination")
+    _check_tag(tag, wildcard=False)
+    if dest == PROC_NULL:
+        return
+    env = comm.env
+    dest_world = comm._dest_world(dest)
+    nbytes = infer_size(data) if size is None else int(size)
+    device = env.select_device(dest_world)
+    envelope = Envelope(context_id, env.rank, tag, nbytes,
+                        byte_order=env.progress.byte_order)
+    payload = clone_payload(data)
+    if synchronous:
+        mode = TransferMode.RENDEZVOUS
+    else:
+        mode = select_mode(nbytes, _threshold(device, dest_world))
+    env.process.engine.tracer.emit(
+        "adi.send", src=env.rank, dst=dest_world, tag=tag, size=nbytes,
+        device=device.name, mode=mode.value,
+    )
+    gate = send_gate(comm, dest_world, context_id)
+    if ticket is None:
+        ticket = gate.ticket()
+    yield from gate.enter(ticket)
+    release = gate.releaser()
+    try:
+        if mode is TransferMode.EAGER:
+            yield from device.send_eager(dest_world, envelope, payload)
+        else:
+            shandle = SendHandle(envelope, payload)
+            # The gate opens once the request has secured the match slot.
+            shandle.on_request_sent = release
+            yield from device.send_rndv(dest_world, shandle)
+    finally:
+        release()
+
+
+def send_gate(comm: "Communicator", dest_world: int,
+              context_id: int) -> SendGate:
+    """The per-(context, destination) ordering gate of this process."""
+    gates = comm.env.progress.send_gates
+    key = (context_id, dest_world)
+    gate = gates.get(key)
+    if gate is None:
+        gate = gates[key] = SendGate()
+    return gate
+
+
+def isend_impl(comm: "Communicator", data: Any, dest: int, tag: int,
+               size: int | None, context_id: int,
+               synchronous: bool = False) -> SendRequest:
+    """Non-blocking send: spawn a temporary Marcel thread (§4.2.3).
+
+    The payload is captured *now* (mpi4py's lowercase isend serializes at
+    call time), so callers may reuse their buffer immediately.
+    """
+    done = Flag(name="isend")
+    payload = clone_payload(data)
+    # The ordering ticket is taken NOW, at call time: the temporary
+    # thread may run later, but this send's position in the stream is
+    # its isend position (MPI non-overtaking).
+    ticket = None
+    if dest != PROC_NULL and 0 <= dest < comm._peer_size:
+        dest_world = comm._dest_world(dest)
+        ticket = send_gate(comm, dest_world, context_id).ticket()
+
+    def body():
+        yield from send_impl(comm, payload, dest, tag, size, context_id,
+                             synchronous=synchronous, ticket=ticket)
+        done.set()
+
+    comm.env.process.runtime.spawn_temporary(body(), name="isend")
+    return SendRequest(done)
+
+
+def irecv_impl(comm: "Communicator", source: int, tag: int,
+               capacity: int | None, context_id: int) -> RecvRequest:
+    """Post a receive (non-blocking).  Never yields — atomic w.r.t. the
+    cooperative scheduler."""
+    _check_rank(comm, source, wildcard=True, what="source")
+    _check_tag(tag, wildcard=True)
+    env = comm.env
+    if source == PROC_NULL:
+        handle = RecvHandle(context_id, PROC_NULL, tag, capacity)
+        handle.status.source = PROC_NULL
+        handle.status.count = 0
+        handle.flag.set(handle)
+        return RecvRequest(handle, comm)
+    source_world = (ANY_SOURCE if source == ANY_SOURCE
+                    else comm._source_world(source))
+    entry = env.progress.unexpected.match(context_id, source_world, tag)
+    handle = RecvHandle(context_id, source_world, tag, capacity)
+    if entry is None:
+        env.progress.posted.post(handle)
+        request = RecvRequest(handle, comm)
+        request.posted_queue = env.progress.posted
+        return request
+    if entry.kind is UnexpectedKind.EAGER:
+        if capacity is not None and entry.envelope.size > capacity:
+            handle.status.error = 1
+        handle.complete(entry.envelope, entry.data)
+        request = RecvRequest(handle, comm)
+        # The unexpected-buffer -> user-buffer copy is charged by the
+        # thread that eventually waits (irecv itself must not yield).
+        request.pending_copy_bytes = entry.envelope.size
+        return request
+    # RNDV_REQUEST: the sender is waiting for our acknowledgement.  A
+    # temporary thread sends it (the paper's thread discipline, §4.2.3) —
+    # this also keeps irecv itself non-blocking.
+    sync = env.progress.register_sync(handle)
+    token = entry.rndv_token
+    env.process.runtime.spawn_temporary(
+        token.device.send_rndv_ack(token, sync.sync_id), name="rndv-ack"
+    )
+    return RecvRequest(handle, comm)
+
+
+def recv_wait(comm: "Communicator", request: RecvRequest) -> Generator:
+    """Complete a receive request: charge deferred copies, then wait."""
+    if request.pending_copy_bytes:
+        nbytes, request.pending_copy_bytes = request.pending_copy_bytes, 0
+        yield charge(comm.env.progress.memory.copy_cost(nbytes))
+    result = yield from request.wait()
+    return result
+
+
+def probe_impl(comm: "Communicator", source: int, tag: int,
+               context_id: int) -> Generator:
+    """Blocking probe: evaluates to a Status for the first match."""
+    _check_rank(comm, source, wildcard=True, what="source")
+    _check_tag(tag, wildcard=True)
+    env = comm.env
+    source_world = (ANY_SOURCE if source == ANY_SOURCE
+                    else comm._source_world(source))
+    while True:
+        entry = env.progress.unexpected.peek(context_id, source_world, tag)
+        if entry is not None:
+            return _entry_status(comm, entry)
+        yield wait(env.progress.arrivals)
+
+
+def iprobe_impl(comm: "Communicator", source: int, tag: int,
+                context_id: int) -> tuple[bool, Status | None]:
+    """Non-blocking probe."""
+    _check_rank(comm, source, wildcard=True, what="source")
+    _check_tag(tag, wildcard=True)
+    source_world = (ANY_SOURCE if source == ANY_SOURCE
+                    else comm._source_world(source))
+    entry = comm.env.progress.unexpected.peek(context_id, source_world, tag)
+    if entry is None:
+        return False, None
+    return True, _entry_status(comm, entry)
+
+
+def _entry_status(comm: "Communicator", entry) -> Status:
+    envelope = entry.envelope
+    return Status(source=comm._rank_of_world(envelope.source),
+                  tag=envelope.tag, count=envelope.size,
+                  source_world=envelope.source)

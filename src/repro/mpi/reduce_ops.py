@@ -1,0 +1,88 @@
+"""MPI reduction operations.
+
+Each :class:`Op` reduces two contributions into one.  For numpy arrays
+the operation applies elementwise (vectorized); for plain Python objects
+it applies directly.  ``MINLOC``/``MAXLOC`` follow the MPI convention of
+operating on (value, index) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import MPIError
+
+
+class Op:
+    """A reduction operator.
+
+    ``fn(a, b)`` must be associative; ``commutative`` controls whether
+    reduction trees may reorder operands.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any],
+                 commutative: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commutative = commutative
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_sequence(self, items: list) -> Any:
+        """Fold a rank-ordered list of contributions."""
+        if not items:
+            raise MPIError("reduce over zero contributions")
+        acc = items[0]
+        for item in items[1:]:
+            acc = self.fn(acc, item)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Op {self.name}>"
+
+
+def _elementwise(np_fn, py_fn):
+    def fn(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np_fn(a, b)
+        return py_fn(a, b)
+    return fn
+
+
+SUM = Op("MPI_SUM", _elementwise(np.add, lambda a, b: a + b))
+PROD = Op("MPI_PROD", _elementwise(np.multiply, lambda a, b: a * b))
+MAX = Op("MPI_MAX", _elementwise(np.maximum, max))
+MIN = Op("MPI_MIN", _elementwise(np.minimum, min))
+LAND = Op("MPI_LAND", _elementwise(np.logical_and, lambda a, b: bool(a) and bool(b)))
+LOR = Op("MPI_LOR", _elementwise(np.logical_or, lambda a, b: bool(a) or bool(b)))
+LXOR = Op("MPI_LXOR", _elementwise(np.logical_xor, lambda a, b: bool(a) != bool(b)))
+BAND = Op("MPI_BAND", _elementwise(np.bitwise_and, lambda a, b: a & b))
+BOR = Op("MPI_BOR", _elementwise(np.bitwise_or, lambda a, b: a | b))
+BXOR = Op("MPI_BXOR", _elementwise(np.bitwise_xor, lambda a, b: a ^ b))
+
+
+def _minloc(a, b):
+    (av, ai), (bv, bi) = a, b
+    if bv < av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+def _maxloc(a, b):
+    (av, ai), (bv, bi) = a, b
+    if bv > av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+MINLOC = Op("MPI_MINLOC", _minloc)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)
+
+
+def user_op(fn: Callable[[Any, Any], Any], commutative: bool = True,
+            name: str = "MPI_OP_USER") -> Op:
+    """Wrap a user reduction function (MPI_Op_create)."""
+    return Op(name, fn, commutative=commutative)

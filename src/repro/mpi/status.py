@@ -1,0 +1,38 @@
+"""MPI_Status equivalent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+
+@dataclass
+class Status:
+    """Completion information for a receive (or probe)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    #: Received payload size in bytes (MPI_Get_count with MPI_BYTE).
+    count: int = 0
+    error: int = 0
+    cancelled: bool = False
+    #: World rank of the sender (set on completion; ``source`` holds the
+    #: communicator-relative rank, translated by the owning request).
+    source_world: int = ANY_SOURCE
+
+    def get_count(self, datatype=None) -> int:
+        """Number of ``datatype`` elements received (bytes if None).
+
+        Returns :data:`~repro.mpi.constants.UNDEFINED` when the byte count
+        is not a whole number of elements, as MPI_Get_count does.
+        """
+        if datatype is None:
+            return self.count
+        if datatype.size == 0:
+            return 0
+        elements, rem = divmod(self.count, datatype.size)
+        if rem:
+            from repro.mpi.constants import UNDEFINED
+            return UNDEFINED
+        return elements

@@ -1,0 +1,170 @@
+"""One physical network: adapters, wire occupancy, delivery.
+
+A :class:`NetworkFabric` models a switched network of one protocol
+(one Fast-Ethernet switch, one SCI ringlet/switch, one Myrinet switch).
+Adapters attach to it; any adapter can transmit to any other.  The model
+charges:
+
+- transmit-side serialization: a chunk occupies the sender adapter's
+  transmit port for ``wire_time(chunk)`` (back-to-back chunks queue);
+- propagation/switching: delivery fires ``wire_latency`` after the chunk
+  leaves the transmit port (plus any protocol ``long_extra_latency``).
+
+Receive-side CPU costs are charged by whoever consumes the delivery (the
+Madeleine driver's polling handler) — the fabric only moves bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import NetworkError, RouteError
+from repro.sim.engine import Engine
+from repro.networks.params import ProtocolParams
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """What lands in a receive queue: one complete message.
+
+    ``payload`` is opaque to the network (the Madeleine driver puts its
+    own wire structures there).  ``nbytes`` is the payload size actually
+    serialized, used by receive-side cost accounting.
+    """
+
+    source: "Adapter"
+    dest: "Adapter"
+    nbytes: int
+    payload: Any
+    sent_at: int
+    delivered_at: int
+
+
+class Adapter:
+    """One NIC port attached to a fabric.
+
+    ``rx_sink`` is set by the protocol endpoint that owns the adapter; it
+    receives :class:`Delivery` objects (typically forwarding them into a
+    polling thread's mailbox).
+    """
+
+    def __init__(self, fabric: "NetworkFabric", owner: Any, index: int):
+        self.fabric = fabric
+        self.owner = owner
+        self.index = index
+        self.rx_sink: Callable[[Delivery], None] | None = None
+        #: Time the transmit port is next free (serialization occupancy).
+        self.tx_free: int = 0
+        #: Diagnostics.
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.bytes_received = 0
+        self.messages_received = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.fabric.params.name}[{self.index}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Adapter {self.name} owner={self.owner!r}>"
+
+
+class NetworkFabric:
+    """A switched network of one protocol."""
+
+    def __init__(self, engine: Engine, params: ProtocolParams, name: str | None = None):
+        self.engine = engine
+        self.params = params
+        self.name = name or params.name
+        self.adapters: list[Adapter] = []
+        #: Per (src, dst) adapter pair: last scheduled delivery time, used
+        #: to keep deliveries FIFO even when per-message latency varies
+        #: (e.g. BIP's long-message handshake).
+        self._pair_last: dict[tuple[int, int], int] = {}
+
+    def attach(self, owner: Any) -> Adapter:
+        """Create a new adapter on this fabric owned by ``owner``."""
+        adapter = Adapter(self, owner, index=len(self.adapters))
+        self.adapters.append(adapter)
+        return adapter
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit_chunk(self, src: Adapter, dst: Adapter, nbytes: int,
+                       extra_latency: int = 0,
+                       on_arrival: Callable[[int], None] | None = None) -> int:
+        """Serialize one chunk out of ``src`` towards ``dst``.
+
+        Returns the arrival time.  ``on_arrival`` (if given) fires at that
+        time with the arrival timestamp — used internally to complete
+        multi-chunk messages.
+        """
+        self._check_route(src, dst)
+        now = self.engine.now
+        start = max(now, src.tx_free)
+        done = start + self.params.wire_time(nbytes)
+        src.tx_free = done
+        arrival = done + self.params.wire_latency + extra_latency
+        if on_arrival is not None:
+            self.engine.schedule_at(arrival, on_arrival, arrival)
+        return arrival
+
+    def transmit_message(self, src: Adapter, dst: Adapter, nbytes: int,
+                         payload: Any, extra_latency: int = 0) -> None:
+        """Send a whole message as pipelined chunks; deliver on last arrival.
+
+        The caller has already charged sender CPU costs.  Chunks only
+        occupy the transmit port here — per-chunk sender CPU pipelining
+        is the endpoint's job (it interleaves charges with chunk posts).
+        """
+        sent_at = self.engine.now
+        chunks = self.params.chunks(nbytes)
+        last_arrival = sent_at
+        for size in chunks:
+            last_arrival = self.transmit_chunk(src, dst, size,
+                                               extra_latency=extra_latency)
+        self.schedule_delivery(src, dst, nbytes, payload, last_arrival, sent_at)
+
+    def schedule_delivery(self, src: Adapter, dst: Adapter, nbytes: int,
+                          payload: Any, arrival: int, sent_at: int) -> int:
+        """Schedule a complete-message delivery, enforcing per-pair FIFO.
+
+        Returns the (possibly clamped) delivery time.
+        """
+        key = (src.index, dst.index)
+        arrival = max(arrival, self._pair_last.get(key, 0))
+        self._pair_last[key] = arrival
+        delivery = Delivery(source=src, dest=dst, nbytes=nbytes,
+                            payload=payload, sent_at=sent_at,
+                            delivered_at=arrival)
+        self.engine.schedule_at(arrival, self._deliver, delivery)
+        return arrival
+
+    def _deliver(self, delivery: Delivery) -> None:
+        dst = delivery.dest
+        dst.bytes_received += delivery.nbytes
+        dst.messages_received += 1
+        src = delivery.source
+        src.bytes_sent += delivery.nbytes
+        src.messages_sent += 1
+        self.engine.tracer.emit(
+            "net.deliver", fabric=self.name, src=src.index, dst=dst.index,
+            nbytes=delivery.nbytes, latency=delivery.delivered_at - delivery.sent_at,
+        )
+        if dst.rx_sink is None:
+            raise NetworkError(
+                f"delivery to adapter {dst.name} with no rx_sink installed"
+            )
+        dst.rx_sink(delivery)
+
+    def _check_route(self, src: Adapter, dst: Adapter) -> None:
+        if src.fabric is not self or dst.fabric is not self:
+            raise RouteError(
+                f"adapters {src.name} and {dst.name} are not both on fabric {self.name}"
+            )
+        if src is dst:
+            raise RouteError(f"adapter {src.name} cannot transmit to itself")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NetworkFabric {self.name} adapters={len(self.adapters)}>"

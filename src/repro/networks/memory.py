@@ -1,0 +1,34 @@
+"""Host memory copy cost model.
+
+The eager transfer mode pays "an intermediary copy on the receiving side"
+(§4.1); smp_plug pays two copies through a shared-memory FIFO; the TCP
+stack pays kernel/user copies.  All of these are charged through one
+:class:`MemoryModel` so that a single pair of constants controls every
+copy in a node.
+"""
+
+from __future__ import annotations
+
+from repro.networks.params import MemoryParams
+
+#: The paper's nodes: dual-PentiumII 450 MHz, 64 MB SDRAM.
+PAPER_NODE_MEMORY = MemoryParams(copy_overhead=250, copy_ns_per_byte=6.0)
+
+
+class MemoryModel:
+    """Computes CPU costs of memory copies on one node."""
+
+    def __init__(self, params: MemoryParams = PAPER_NODE_MEMORY):
+        self.params = params
+
+    def copy_cost(self, nbytes: int) -> int:
+        """CPU ns to memcpy ``nbytes`` within the node."""
+        if nbytes < 0:
+            raise ValueError("negative copy size")
+        if nbytes == 0:
+            return 0
+        return self.params.copy_overhead + round(nbytes * self.params.copy_ns_per_byte)
+
+    def copy_bandwidth_mb_s(self) -> float:
+        """Asymptotic copy bandwidth in MB/s (10^6), for reporting."""
+        return 1000.0 / self.params.copy_ns_per_byte

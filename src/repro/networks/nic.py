@@ -1,0 +1,100 @@
+"""Protocol endpoints: the per-node send/receive machinery of one network.
+
+A :class:`ProtocolEndpoint` is what a Madeleine driver talks to.  It owns
+one adapter on one fabric and provides:
+
+- ``send_message`` — a generator run by the *sending thread*: charges the
+  modelled sender CPU costs (pipelined per chunk against the wire) and
+  hands chunks to the fabric;
+- ``rx_mailbox`` — where complete message deliveries land, for a Marcel
+  polling thread to consume;
+- ``poll_source`` — the polling configuration for this protocol (§3.3:
+  per-protocol polling mode and frequency);
+- ``recv_cost`` — the receive-side CPU charge the polling handler must
+  pay per delivered message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.marcel.polling import PollSource
+from repro.networks.fabric import Adapter, Delivery, NetworkFabric
+from repro.networks.params import ProtocolParams
+from repro.sim.coroutines import charge
+from repro.sim.engine import Engine
+from repro.sim.sync import Mailbox
+
+
+class ProtocolEndpoint:
+    """Base endpoint; protocol-specific subclasses tweak the send path."""
+
+    def __init__(self, engine: Engine, fabric: NetworkFabric, owner: Any = None):
+        self.engine = engine
+        self.fabric = fabric
+        self.params: ProtocolParams = fabric.params
+        self.owner = owner
+        self.adapter: Adapter = fabric.attach(self)
+        self.adapter.rx_sink = self._on_delivery
+        self.rx_mailbox = Mailbox(name=f"{self.adapter.name}.rx")
+
+    # -- receive side --------------------------------------------------------
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        self.rx_mailbox.post(delivery)
+
+    def poll_source(self, name: str | None = None) -> PollSource:
+        """Polling configuration for the channel bound to this endpoint."""
+        p = self.params
+        return PollSource(
+            name=name or self.adapter.name,
+            mode=p.poll_mode,
+            mailbox=self.rx_mailbox,
+            poll_cost=p.poll_cost,
+            period=p.poll_period,
+            idle_period=p.poll_idle_period,
+        )
+
+    def recv_cost(self, nbytes: int) -> int:
+        """Receive-side CPU ns to consume a delivered message."""
+        p = self.params
+        return p.recv_overhead + round(nbytes * p.cpu_recv_ns_per_byte)
+
+    # -- send side ---------------------------------------------------------
+
+    def send_message(self, dst: "ProtocolEndpoint", nbytes: int,
+                     payload: Any) -> Generator:
+        """Generator run by the sending thread.
+
+        Default path (DMA-style networks): charge the fixed per-message
+        overhead plus any sender per-byte cost pipelined chunk-by-chunk
+        against the wire, then return — the wire and delivery proceed
+        without the CPU.
+        """
+        p = self.params
+        extra_send, extra_latency = self._long_message_extras(nbytes)
+        yield charge(p.send_overhead + extra_send)
+        if p.cpu_send_ns_per_byte > 0 and nbytes > p.chunk_size:
+            # Pipelined: CPU prepares chunk k+1 while chunk k serializes.
+            sent_at = self.engine.now
+            last_arrival = sent_at
+            for size in p.chunks(nbytes):
+                yield charge(round(size * p.cpu_send_ns_per_byte))
+                last_arrival = self.fabric.transmit_chunk(
+                    self.adapter, dst.adapter, size, extra_latency=extra_latency
+                )
+            self.fabric.schedule_delivery(self.adapter, dst.adapter, nbytes,
+                                          payload, last_arrival, sent_at)
+        else:
+            yield charge(round(nbytes * p.cpu_send_ns_per_byte))
+            self.fabric.transmit_message(self.adapter, dst.adapter, nbytes,
+                                         payload, extra_latency=extra_latency)
+
+    def _long_message_extras(self, nbytes: int) -> tuple[int, int]:
+        p = self.params
+        if p.long_threshold and nbytes >= p.long_threshold:
+            return p.long_extra_send, p.long_extra_latency
+        return 0, 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.adapter.name}>"

@@ -1,0 +1,93 @@
+"""Cost-model parameters for networks and node memory.
+
+Every microsecond reported by the benchmarks traces back to one of these
+fields.  The three canned protocol parameter sets live next to their
+endpoint classes (:mod:`repro.networks.tcp` etc.); they are calibrated so
+the raw-Madeleine ping-pong lands on the paper's Table 1 anchors
+(TCP 121 us / 11.2 MB/s, BIP 9.2 us / 122 MB/s, SISCI 4.4 us / 82.6 MB/s)
+— see ``benchmarks/test_table1_raw_madeleine.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.marcel.polling import PollMode
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Host memory copy model (dual-PentiumII/450, SDRAM).
+
+    A copy of ``n`` bytes costs ``copy_overhead + n * copy_ns_per_byte``
+    of CPU time.  6.0 ns/byte ~= 167 MB/s sustained memcpy, typical for
+    the paper's hardware.
+    """
+
+    copy_overhead: int = 250         # ns, per memcpy call
+    copy_ns_per_byte: float = 6.0    # ns/byte
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Cost model of one network protocol stack (NIC + driver + API).
+
+    Send path (charged to the sending thread, pipelined per chunk):
+      ``send_overhead`` once per message, plus ``cpu_send_ns_per_byte``
+      per byte (copies into NIC/socket buffers; ~0 for DMA networks).
+
+    Wire: each chunk occupies the sender adapter's transmit side for
+    ``size * wire_ns_per_byte`` and is delivered ``wire_latency`` later.
+
+    Receive path (charged by the polling thread per delivered message):
+      ``recv_overhead`` plus ``cpu_recv_ns_per_byte`` per byte.
+
+    Madeleine driver costs: ``pack_op_cost`` / ``unpack_op_cost`` are the
+    per-*additional*-block bookkeeping costs (the first block of a message
+    is covered by send/recv overhead).  The paper measures the extra
+    pack/unpack pair of ch_mad at 21 us (TCP), 6.5 us (SCI), 4.5 us (BIP)
+    total across both sides (§5.2-5.4).
+
+    Polling: ``poll_mode`` selects the Marcel polling style (§3.3);
+    ``poll_cost``/``poll_period`` parameterize it.
+    """
+
+    name: str
+    # -- send side ---------------------------------------------------------
+    send_overhead: int               # ns per message
+    cpu_send_ns_per_byte: float      # ns/byte of sender CPU
+    # -- wire ---------------------------------------------------------------
+    wire_latency: int                # ns, NIC-to-NIC
+    wire_ns_per_byte: float          # serialization
+    chunk_size: int                  # pipelining granularity (bytes)
+    wire_header_bytes: int = 0       # per-chunk framing overhead on the wire
+    # -- receive side --------------------------------------------------------
+    recv_overhead: int = 0           # ns per message
+    cpu_recv_ns_per_byte: float = 0.0
+    # -- Madeleine driver ------------------------------------------------------
+    pack_op_cost: int = 0            # ns per additional packed block (sender)
+    unpack_op_cost: int = 0          # ns per additional unpacked block (receiver)
+    aggregates_cheaper: bool = False  # TCP: CHEAPER blocks join the stream write
+    # -- polling ----------------------------------------------------------------
+    poll_mode: PollMode = PollMode.EVENT
+    poll_cost: int = 0               # ns (per item for EVENT, per tick for PERIODIC)
+    poll_period: int = 0             # ns (PERIODIC only, CPU contended)
+    poll_idle_period: int = 0        # ns (PERIODIC only, CPU otherwise idle)
+    # -- protocol quirks -----------------------------------------------------
+    long_threshold: int = 0          # bytes; 0 = no long-message mode
+    long_extra_send: int = 0         # ns extra sender overhead past threshold
+    long_extra_latency: int = 0      # ns extra delivery latency past threshold
+
+    def wire_time(self, nbytes: int) -> int:
+        """Serialization time for one chunk of ``nbytes`` payload."""
+        return round((nbytes + self.wire_header_bytes) * self.wire_ns_per_byte)
+
+    def chunks(self, nbytes: int) -> list[int]:
+        """Split a payload into pipeline chunks (at least one, possibly 0-byte)."""
+        if nbytes <= self.chunk_size:
+            return [nbytes]
+        full, rem = divmod(nbytes, self.chunk_size)
+        sizes = [self.chunk_size] * full
+        if rem:
+            sizes.append(rem)
+        return sizes

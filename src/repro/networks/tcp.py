@@ -1,0 +1,58 @@
+"""TCP over Fast-Ethernet (DEC 21140 boards, Linux 2.2 kernel stack).
+
+Characteristics modelled (paper §3.3, §5.2):
+
+- high per-message software overhead (syscalls, kernel TCP/IP stack);
+- sender copies user data into socket buffers (per-byte CPU cost),
+  pipelined against the wire for large messages;
+- receiver pays a kernel-to-user copy per byte;
+- 100 Mbit/s wire (~12.5 MB/s) minus framing => ~11.6 MB/s payload rate;
+- polling is *periodic*: the only detection mechanism is the expensive
+  ``select`` system call, so the Marcel polling thread ticks at a fixed
+  period and pays ``poll_cost`` per tick whether or not traffic arrived.
+  This standing cost is what the paper's Figure 9 measures.
+
+Calibration anchors (Table 1, raw Madeleine): 121 us latency,
+11.2 MB/s at 8 MB.
+"""
+
+from __future__ import annotations
+
+from repro.marcel.polling import PollMode
+from repro.networks.nic import ProtocolEndpoint
+from repro.networks.params import ProtocolParams
+from repro.units import us
+
+TCP_FAST_ETHERNET = ProtocolParams(
+    name="tcp",
+    # send: write() syscall + kernel stack traversal, then socket-buffer copy
+    send_overhead=us(44),
+    cpu_send_ns_per_byte=5.5,
+    # wire: Fast-Ethernet + switch + IP.  89 ns/B ~= 11.2 MB/s payload;
+    # this effective rate folds in the kernel-to-user receive copy, which
+    # overlaps with the arrival of subsequent segments.
+    wire_latency=us(30),
+    wire_ns_per_byte=89.0,
+    wire_header_bytes=58,           # Ethernet+IP+TCP framing per segment
+    chunk_size=32 * 1024,
+    # receive: softirq + socket bookkeeping (copy is folded into the wire
+    # rate, see above)
+    recv_overhead=us(35),
+    cpu_recv_ns_per_byte=0.0,
+    # Madeleine/TCP driver: extra packed blocks are appended into the
+    # stream buffer — expensive bookkeeping + copy (paper: ~21 us total
+    # extra pack/unpack cost on TCP, split across both sides).
+    pack_op_cost=us(10.5),
+    unpack_op_cost=us(10.5),
+    aggregates_cheaper=True,
+    # polling: select() costs 6 us per call; ticks every 24 us while the
+    # CPU is contended, every 3 us from the Marcel idle loop
+    poll_mode=PollMode.PERIODIC,
+    poll_cost=us(6),
+    poll_period=us(24),
+    poll_idle_period=us(3),
+)
+
+
+class TcpEndpoint(ProtocolEndpoint):
+    """TCP endpoint — the generic pipelined send path fits TCP as-is."""

@@ -1,0 +1,56 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately tiny and deterministic:
+
+- :class:`~repro.sim.engine.Engine` owns the virtual clock (integer
+  nanoseconds) and a priority queue of events, tie-broken by insertion
+  sequence number so identical timestamps replay identically.
+- :class:`~repro.sim.cpu.CPU` schedules cooperative *tasks* (Python
+  generator coroutines) on one simulated processor.  Tasks charge CPU
+  time explicitly with :func:`~repro.sim.coroutines.charge`; everything
+  the higher layers "pay for" (packing, polling, memory copies, protocol
+  handling) flows through these charges, which is what makes contention
+  effects — such as the paper's Figure 9 polling interference — emerge
+  rather than being hard-coded.
+- :mod:`~repro.sim.sync` provides semaphores, mutexes, condition
+  variables and mailboxes usable from tasks.
+"""
+
+from repro.sim.coroutines import (
+    Charge,
+    GetTime,
+    Sleep,
+    Wait,
+    YieldCPU,
+    charge,
+    now,
+    sleep,
+    wait,
+    yield_cpu,
+)
+from repro.sim.cpu import CPU, Task, TaskState
+from repro.sim.engine import Engine, Event
+from repro.sim.sync import Condition, Flag, Mailbox, Mutex, Semaphore
+
+__all__ = [
+    "CPU",
+    "Charge",
+    "Condition",
+    "Engine",
+    "Event",
+    "Flag",
+    "GetTime",
+    "Mailbox",
+    "Mutex",
+    "Semaphore",
+    "Sleep",
+    "Task",
+    "TaskState",
+    "Wait",
+    "YieldCPU",
+    "charge",
+    "now",
+    "sleep",
+    "wait",
+    "yield_cpu",
+]

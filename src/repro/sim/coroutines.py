@@ -1,0 +1,104 @@
+"""System calls for coroutine tasks.
+
+A simulated thread is a Python generator that *yields* instances of these
+classes to its :class:`~repro.sim.cpu.CPU` scheduler.  The scheduler
+interprets the yield, advances virtual time and/or blocks the task, and
+resumes the generator with the call's result via ``gen.send(value)``.
+
+The lowercase helper functions exist so task code reads naturally::
+
+    def body():
+        yield charge(us(2))          # burn 2 us of CPU (holds the CPU)
+        item = yield wait(mailbox)   # block until a mailbox post
+        yield sleep(us(10))          # release the CPU for 10 us
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.sync import Waitable
+
+
+class SystemCall:
+    """Base class for everything a task may yield to its scheduler."""
+
+    __slots__ = ()
+
+
+class Charge(SystemCall):
+    """Consume ``duration`` ns of CPU time while *holding* the CPU.
+
+    Other tasks on the same CPU cannot run until the charge completes —
+    this is what models software overhead (packing, polling, protocol
+    handling) stealing cycles from the application thread.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError("charge duration must be >= 0")
+        self.duration = int(duration)
+
+
+class Sleep(SystemCall):
+    """Release the CPU and become runnable again after ``duration`` ns."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int):
+        if duration < 0:
+            raise ValueError("sleep duration must be >= 0")
+        self.duration = int(duration)
+
+
+class Wait(SystemCall):
+    """Block on a :class:`~repro.sim.sync.Waitable` until it signals us.
+
+    The value passed to the waitable's signal becomes the result of the
+    ``yield``.
+    """
+
+    __slots__ = ("waitable",)
+
+    def __init__(self, waitable: "Waitable"):
+        self.waitable = waitable
+
+
+class YieldCPU(SystemCall):
+    """Go to the back of the run queue (cooperative yield)."""
+
+    __slots__ = ()
+
+
+class GetTime(SystemCall):
+    """Evaluate to the current virtual time (integer ns)."""
+
+    __slots__ = ()
+
+
+def charge(duration: int) -> Charge:
+    """Busy the CPU for ``duration`` ns."""
+    return Charge(duration)
+
+
+def sleep(duration: int) -> Sleep:
+    """Release the CPU for ``duration`` ns."""
+    return Sleep(duration)
+
+
+def wait(waitable: Any) -> Wait:
+    """Block until ``waitable`` signals."""
+    return Wait(waitable)
+
+
+def yield_cpu() -> YieldCPU:
+    """Let other runnable tasks on this CPU proceed."""
+    return YieldCPU()
+
+
+def now() -> GetTime:
+    """Read the virtual clock from inside a task."""
+    return GetTime()

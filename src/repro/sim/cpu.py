@@ -1,0 +1,278 @@
+"""Cooperative task scheduling on a simulated CPU.
+
+One :class:`CPU` models one processor.  Tasks (generator coroutines) are
+scheduled cooperatively, exactly like Marcel user-level threads on the
+paper's hardware: a task holds the CPU until it charges, sleeps, blocks or
+yields.  Time only passes when a task *charges* (software overhead) or when
+the CPU is idle waiting for an event — so every microsecond of the results
+is attributable to a modelled cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.coroutines import Charge, GetTime, Sleep, SystemCall, Wait, YieldCPU
+from repro.sim.engine import Engine
+
+TaskBody = Generator[SystemCall, Any, Any]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a simulated task."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    CHARGING = "charging"  # holding the CPU while virtual time passes
+    SLEEPING = "sleeping"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+#: States in which a task will never run again.
+FINISHED_STATES = frozenset({TaskState.DONE, TaskState.FAILED, TaskState.KILLED})
+
+
+class Task:
+    """A generator coroutine scheduled on a :class:`CPU`.
+
+    A finished task is also a waitable: other tasks may ``yield wait(task)``
+    to join it; the join evaluates to the task's return value.
+    """
+
+    _counter = 0
+
+    def __init__(self, cpu: "CPU", body: TaskBody, name: str | None = None,
+                 daemon: bool = False):
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"task body must be a generator, got {type(body).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        Task._counter += 1
+        self.cpu = cpu
+        self.gen = body
+        self.name = name or f"task-{Task._counter}"
+        #: Daemon tasks do not count for deadlock detection and may be
+        #: killed at teardown — the polling threads of ch_mad are daemons.
+        self.daemon = daemon
+        self.state = TaskState.NEW
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        #: Total ns of CPU this task has charged (profiling; the Fig. 9
+        #: analysis reads polling threads' shares from here).
+        self.cpu_time: int = 0
+        self._joiners: list[tuple[Task, Any]] = []
+        self._wake_value: Any = None
+
+    # -- waitable protocol (join) ------------------------------------------
+
+    def _try_acquire(self, task: "Task") -> tuple[bool, Any]:
+        if self.state in FINISHED_STATES:
+            if self.exception is not None:
+                raise self.exception
+            return True, self.result
+        self._joiners.append((task, None))
+        return False, None
+
+    def _finish(self, result: Any = None, exception: BaseException | None = None,
+                killed: bool = False) -> None:
+        if killed:
+            self.state = TaskState.KILLED
+        elif exception is not None:
+            self.state = TaskState.FAILED
+            self.exception = exception
+        else:
+            self.state = TaskState.DONE
+            self.result = result
+        joiners, self._joiners = self._joiners, []
+        for joiner, _ in joiners:
+            if joiner.state not in FINISHED_STATES:
+                joiner.cpu.make_ready(joiner, self.result)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in FINISHED_STATES
+
+    def kill(self) -> None:
+        """Forcefully terminate the task (used for daemon teardown)."""
+        if self.finished:
+            return
+        self.gen.close()
+        if self.cpu.current is self:
+            # Cannot happen from within the task itself (it would have to
+            # call kill() while running, which close() prevents), but guard.
+            self.cpu.current = None  # pragma: no cover - defensive
+        self.cpu._discard(self)
+        self._finish(killed=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Task {self.name} {self.state.value}>"
+
+
+class CPU:
+    """One simulated processor running cooperative tasks.
+
+    ``switch_cost`` ns are charged whenever the CPU starts running a task
+    different from the one it ran last — the cost of a Marcel user-level
+    context switch (sub-microsecond on the paper's hardware).
+    """
+
+    _counter = 0
+
+    def __init__(self, engine: Engine, name: str | None = None, switch_cost: int = 0):
+        CPU._counter += 1
+        self.engine = engine
+        self.name = name or f"cpu-{CPU._counter}"
+        self.switch_cost = int(switch_cost)
+        self.current: Task | None = None
+        self._ready: deque[Task] = deque()
+        self._last_ran: Task | None = None
+        self._dispatch_pending = False
+        self._tasks: list[Task] = []
+        #: Total ns this CPU spent busy (charges + switches), diagnostic.
+        self.busy_time: int = 0
+
+    # -- public API --------------------------------------------------------
+
+    def spawn(self, body: TaskBody | Callable[[], TaskBody], name: str | None = None,
+              daemon: bool = False) -> Task:
+        """Create a task from a generator (or a zero-arg generator function)."""
+        if callable(body) and not hasattr(body, "send"):
+            body = body()
+        task = Task(self, body, name=name, daemon=daemon)
+        self._tasks.append(task)
+        task.state = TaskState.READY
+        self._ready.append(task)
+        self._ensure_dispatch()
+        return task
+
+    def make_ready(self, task: Task, value: Any = None) -> None:
+        """Unblock ``task`` with ``value`` as the result of its pending wait."""
+        if task.finished:
+            return
+        if task.state in (TaskState.READY, TaskState.RUNNING, TaskState.CHARGING):
+            raise SimulationError(f"cannot wake {task!r}: not blocked or sleeping")
+        task.state = TaskState.READY
+        task._wake_value = value
+        self._ready.append(task)
+        self._ensure_dispatch()
+
+    def tasks(self) -> Iterable[Task]:
+        """All tasks ever spawned on this CPU."""
+        return tuple(self._tasks)
+
+    def live_tasks(self) -> list[Task]:
+        """Tasks that have not finished."""
+        return [t for t in self._tasks if not t.finished]
+
+    def blocked_nondaemon_tasks(self) -> list[Task]:
+        """Non-daemon tasks still blocked — deadlock diagnostics."""
+        return [
+            t for t in self._tasks
+            if not t.finished and not t.daemon and t.state == TaskState.BLOCKED
+        ]
+
+    # -- internals ----------------------------------------------------------
+
+    def _discard(self, task: Task) -> None:
+        try:
+            self._ready.remove(task)
+        except ValueError:
+            pass
+
+    def _ensure_dispatch(self) -> None:
+        if self.current is None and not self._dispatch_pending:
+            self._dispatch_pending = True
+            self.engine.schedule(0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_pending = False
+        if self.current is not None:
+            return
+        while self._ready:
+            task = self._ready.popleft()
+            if task.finished:
+                continue
+            self.current = task
+            value, task._wake_value = task._wake_value, None
+            if self._last_ran is not task and self.switch_cost > 0:
+                self.busy_time += self.switch_cost
+                self.engine.schedule(self.switch_cost, self._resume, task, value)
+            else:
+                self._resume(task, value)
+            return
+
+    def _resume(self, task: Task, value: Any) -> None:
+        """Advance ``task``'s generator, interpreting its system calls."""
+        if task.finished:
+            self.current = None
+            self._ensure_dispatch()
+            return
+        self._last_ran = task
+        while True:
+            task.state = TaskState.RUNNING
+            try:
+                syscall = task.gen.send(value)
+            except StopIteration as stop:
+                self.current = None
+                task._finish(result=stop.value)
+                self._ensure_dispatch()
+                return
+            except BaseException as exc:
+                self.current = None
+                task._finish(exception=exc)
+                self._ensure_dispatch()
+                raise
+            value = None
+            if isinstance(syscall, Charge):
+                if syscall.duration == 0:
+                    continue
+                task.state = TaskState.CHARGING
+                self.busy_time += syscall.duration
+                task.cpu_time += syscall.duration
+                self.engine.schedule(syscall.duration, self._resume, task, None)
+                return
+            if isinstance(syscall, GetTime):
+                value = self.engine.now
+                continue
+            if isinstance(syscall, Sleep):
+                task.state = TaskState.SLEEPING
+                self.current = None
+                self.engine.schedule(syscall.duration, self._wake_sleeper, task)
+                self._ensure_dispatch()
+                return
+            if isinstance(syscall, Wait):
+                acquired, wait_value = syscall.waitable._try_acquire(task)
+                if acquired:
+                    value = wait_value
+                    continue
+                task.state = TaskState.BLOCKED
+                self.current = None
+                self._ensure_dispatch()
+                return
+            if isinstance(syscall, YieldCPU):
+                task.state = TaskState.READY
+                self.current = None
+                self._ready.append(task)
+                self._ensure_dispatch()
+                return
+            raise SimulationError(
+                f"task {task.name} yielded {syscall!r}, which is not a SystemCall"
+            )
+
+    def _wake_sleeper(self, task: Task) -> None:
+        if task.finished:
+            return
+        task.state = TaskState.READY
+        self._ready.append(task)
+        self._ensure_dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CPU {self.name} current={self.current} ready={len(self._ready)}>"

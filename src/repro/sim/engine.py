@@ -1,0 +1,148 @@
+"""The discrete-event engine: a clock and an event queue.
+
+Determinism contract: events scheduled for the same timestamp fire in the
+order they were scheduled (FIFO), enforced by a monotonically increasing
+sequence number used as a heap tie-breaker.  Nothing in the simulator uses
+wall-clock time or unseeded randomness, so a run is a pure function of its
+inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Engine.schedule`.
+
+    Events may be cancelled; a cancelled event stays in the heap but is
+    skipped when popped (lazy deletion, O(1) cancel).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} seq={self.seq} {state} {self.callback!r}>"
+
+
+class Engine:
+    """Priority-queue event loop over integer-nanosecond virtual time."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._queue: list[Event] = []
+        self._running = False
+        #: Number of events executed so far (diagnostic).
+        self.events_executed: int = 0
+        #: Structured tracing hook (off by default; see repro.sim.trace).
+        from repro.sim.trace import NULL_TRACER
+        self.tracer = NULL_TRACER
+
+    def enable_tracing(self):
+        """Install and return a live :class:`~repro.sim.trace.Tracer`."""
+        from repro.sim.trace import Tracer
+        self.tracer = Tracer(self, enabled=True)
+        return self.tracer
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in integer nanoseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ns in the past")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self._now}"
+            )
+        event = Event(int(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains (or a bound is hit).
+
+        ``until``: stop before executing any event past this virtual time
+        (the clock is advanced to ``until`` when stopping for this reason).
+        ``max_events``: safety valve against runaway simulations.
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("Engine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "possible livelock (a polling loop that never sleeps?)"
+                    )
+                self.step()
+                executed += 1
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine t={self._now} pending={self.pending()}>"

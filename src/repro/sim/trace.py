@@ -1,0 +1,97 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` collects timestamped records; models call
+``tracer.emit(category, **fields)`` at interesting points (message sent,
+poll fired, protocol switch).  Tracing is off by default and adds no
+per-event cost when disabled, so benchmarks are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: int
+    category: str
+    fields: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` objects while enabled."""
+
+    engine: Engine
+    enabled: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+    #: Optional live sink called with each record (e.g. print for debugging).
+    sink: Callable[[TraceRecord], None] | None = None
+
+    def emit(self, category: str, **fields: Any) -> None:
+        """Record an event if tracing is enabled."""
+        if not self.enabled:
+            return
+        record = TraceRecord(self.engine.now, category, fields)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def select(self, category: str, **match: Any) -> list[TraceRecord]:
+        """All records of ``category`` whose fields match ``match``."""
+        out = []
+        for rec in self.records:
+            if rec.category != category:
+                continue
+            if all(rec.fields.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def categories(self) -> set[str]:
+        return {rec.category for rec in self.records}
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullTracer:
+    """A tracer that ignores everything — default when tracing is off."""
+
+    enabled = False
+
+    def emit(self, category: str, **fields: Any) -> None:
+        pass
+
+    def select(self, category: str, **match: Any) -> list[TraceRecord]:
+        return []
+
+    def categories(self) -> set[str]:
+        return set()
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def span_durations(records: Iterable[TraceRecord], start: str, end: str,
+                   key: str) -> dict[Any, int]:
+    """Pair ``start``/``end`` records by ``fields[key]`` -> duration map."""
+    starts: dict[Any, int] = {}
+    durations: dict[Any, int] = {}
+    for rec in records:
+        ident = rec.fields.get(key)
+        if rec.category == start:
+            starts[ident] = rec.time
+        elif rec.category == end and ident in starts:
+            durations[ident] = rec.time - starts.pop(ident)
+    return durations

@@ -1,0 +1,28 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster import ClusterConfig, MPIWorld, NodeSpec, two_node_cluster
+
+
+def run_world(program: Callable, config: ClusterConfig | None = None,
+              **config_kwargs) -> list[Any]:
+    """Run ``program(env)`` on a world; returns per-rank results."""
+    if config is None:
+        config = two_node_cluster(**config_kwargs)
+    world = MPIWorld(config)
+    return world.run(program)
+
+
+def linear_cluster(nranks: int, networks=("sisci",), device="ch_mad") -> ClusterConfig:
+    """``nranks`` single-process nodes."""
+    nodes = [NodeSpec(f"n{i}", networks=tuple(networks)) for i in range(nranks)]
+    return ClusterConfig(nodes=nodes, device=device)
+
+
+def run_ranks(program: Callable, nranks: int = 2, networks=("sisci",),
+              device: str = "ch_mad") -> list[Any]:
+    """Run ``program(env)`` across ``nranks`` single-process nodes."""
+    return run_world(program, linear_cluster(nranks, networks, device))

@@ -1,0 +1,55 @@
+"""Smoke tests for the per-figure builders (tiny grids keep them fast)."""
+
+import pytest
+
+from repro.bench import figures
+
+
+TINY = (4, 1024)
+
+
+class TestTableBuilders:
+    def test_table1_structure(self):
+        data = figures.table1_raw_madeleine()
+        assert set(data) == {"tcp", "bip", "sisci"}
+        for row in data.values():
+            assert row["latency_us"] > 0
+            assert row["bandwidth_mb_s"] > 0
+
+    def test_table1_checks_pass(self):
+        assert all(c.ok for c in figures.table1_checks())
+
+
+class TestFigureBuilders:
+    def test_figure6_small_grid(self):
+        figure = figures.figure6_tcp(sizes=TINY)
+        assert set(figure.series) == {"ch_mad", "ch_p4", "raw_Madeleine"}
+        for series in figure.series.values():
+            assert series.sizes == list(TINY)
+
+    def test_figure7_includes_baseline_notes(self):
+        figure = figures.figure7_sci(sizes=TINY)
+        assert any("ScaMPI" in note for note in figure.notes)
+        assert any("SCI-MPICH" in note for note in figure.notes)
+
+    def test_figure8_small_grid(self):
+        figure = figures.figure8_myrinet(sizes=TINY)
+        assert figure.series["raw_Madeleine"].at(4)[0] < \
+            figure.series["ch_mad"].at(4)[0]
+
+    def test_figure9_small_grid(self):
+        figure = figures.figure9_multiprotocol(sizes=(4,), reps=3)
+        alone = figure.series["SCI_thread_only"]
+        both = figure.series["SCI_thread_+_TCP_thread"]
+        assert both.at(4)[0] >= alone.at(4)[0]
+
+    def test_render_produces_both_panels(self):
+        figure = figures.figure6_tcp(sizes=TINY)
+        text = figure.render()
+        assert "(a) transfer time" in text
+        assert "(b) bandwidth" in text
+        assert figure.render(panel="a").count("bandwidth") == 0
+
+    def test_paper_reference_values_present(self):
+        assert figures.TABLE1_PAPER["sisci"]["latency_us"] == 4.4
+        assert figures.TABLE2_PAPER["tcp"]["lat4_us"] == 148.7

@@ -1,0 +1,88 @@
+"""Determinism: a simulation is a pure function of its configuration.
+
+The paper's measurements are reproducible runs on fixed hardware; the
+simulator must be bit-for-bit repeatable so calibration and benchmarks
+are stable.  These tests run the same workloads twice and require
+identical traces, times and results.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.pingpong import mpi_pingpong
+from repro.bench.raw_madeleine import raw_madeleine_pingpong
+from repro.cluster import MPIWorld, two_node_cluster
+from repro.sim import CPU, Engine, charge, sleep, yield_cpu
+
+
+def test_engine_replay_is_identical():
+    def run():
+        engine = Engine()
+        order = []
+        for delay in (30, 10, 10, 50, 0, 20):
+            engine.schedule(delay, lambda d=delay: order.append((engine.now, d)))
+        engine.run()
+        return order
+
+    assert run() == run()
+
+
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 3)),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_cpu_schedule_replay_property(spec):
+    """Any mix of charges/sleeps/yields across tasks replays identically."""
+    def run():
+        engine = Engine()
+        cpu = CPU(engine, switch_cost=17)
+        trace = []
+
+        def worker(label, steps):
+            for duration, kind in steps:
+                if kind == 0:
+                    yield charge(duration)
+                elif kind == 1:
+                    yield sleep(duration)
+                else:
+                    yield yield_cpu()
+                trace.append((label, engine.now))
+
+        half = len(spec) // 2
+        cpu.spawn(worker("a", spec[:half]))
+        cpu.spawn(worker("b", spec[half:]))
+        engine.run()
+        return trace, engine.now, engine.events_executed
+
+    assert run() == run()
+
+
+def test_mpi_world_replay_is_identical():
+    def run():
+        world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))
+        outputs = []
+
+        def program(mpi):
+            comm = mpi.comm_world
+            value = yield from comm.allreduce(comm.rank + 1)
+            data, status = yield from comm.sendrecv(
+                comm.rank, dest=1 - comm.rank, sendtag=1,
+                source=1 - comm.rank, recvtag=1)
+            outputs.append((mpi.rank, value, data, mpi.process.engine.now))
+            return value
+
+        world.run(program)
+        return outputs, world.engine.now, world.engine.events_executed
+
+    assert run() == run()
+
+
+def test_pingpong_measurements_are_stable():
+    a = mpi_pingpong(1024, networks=("sisci",), reps=3)
+    b = mpi_pingpong(1024, networks=("sisci",), reps=3)
+    assert a.one_way_ns == b.one_way_ns
+    assert a.mean_one_way_ns == b.mean_one_way_ns
+
+
+def test_raw_madeleine_measurements_are_stable():
+    a = raw_madeleine_pingpong("bip", 4096)
+    b = raw_madeleine_pingpong("bip", 4096)
+    assert a.one_way_ns == b.one_way_ns

@@ -1,0 +1,174 @@
+"""Tests for the gateway-forwarding extension (paper §6 future work)."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, MPIWorld, NodeSpec
+from repro.cluster.topology import (
+    compute_gateway_routes,
+    direct_protocols,
+    gateway_ranks,
+    reachability_matrix,
+)
+from repro.errors import ConfigurationError, RouteError
+from repro.mpi.devices.ch_mad.forwarding import ForwardWrapper
+from repro.mpi.reduce_ops import SUM
+
+
+def island_config(forwarding=True):
+    """SCI island <-gateway-> Myrinet island, no common network."""
+    return ClusterConfig(nodes=[
+        NodeSpec("sci0", networks=("sisci",)),
+        NodeSpec("gw", networks=("sisci", "bip")),
+        NodeSpec("myri0", networks=("bip",)),
+    ], device="ch_mad", forwarding=forwarding)
+
+
+def chain_config():
+    """Two gateways in a row: sisci | sisci+tcp | tcp+bip | bip."""
+    return ClusterConfig(nodes=[
+        NodeSpec("a", networks=("sisci",)),
+        NodeSpec("b", networks=("sisci", "tcp")),
+        NodeSpec("c", networks=("tcp", "bip")),
+        NodeSpec("d", networks=("bip",)),
+    ], device="ch_mad", forwarding=True)
+
+
+class TestTopology:
+    def test_direct_protocols(self):
+        config = island_config()
+        assert direct_protocols(config, 0, 1) == {"sisci"}
+        assert direct_protocols(config, 1, 2) == {"bip"}
+        assert direct_protocols(config, 0, 2) == frozenset()
+
+    def test_reachability_matrix(self):
+        matrix = reachability_matrix(island_config())
+        assert matrix[(0, 1)] and matrix[(1, 2)]
+        assert not matrix[(0, 2)]
+
+    def test_gateway_ranks(self):
+        assert gateway_ranks(island_config()) == [1]
+
+    def test_routes_only_for_indirect_pairs(self):
+        routes = compute_gateway_routes(island_config())
+        assert routes == {0: {2: 1}, 2: {0: 1}}
+
+    def test_multi_hop_routes(self):
+        routes = compute_gateway_routes(chain_config())
+        assert routes[0][3] == 1   # a -> d goes via b first
+        assert routes[1][3] == 2   # b -> d goes via c
+        assert routes[3][0] == 2   # d -> a goes via c
+
+    def test_disconnected_raises(self):
+        config = ClusterConfig(nodes=[
+            NodeSpec("a", networks=("sisci",)),
+            NodeSpec("x", networks=("sisci",)),
+            NodeSpec("b", networks=("bip",)),
+            NodeSpec("y", networks=("bip",)),
+        ], device="ch_mad")
+        with pytest.raises(ConfigurationError, match="cannot reach"):
+            compute_gateway_routes(config)
+
+
+class TestForwardWrapper:
+    def test_hop_counting(self):
+        w = ForwardWrapper(2, 0, None, None, 0)
+        assert w.next_hop().hops == 1
+
+    def test_loop_guard(self):
+        w = ForwardWrapper(2, 0, None, None, 0, hops=ForwardWrapper.MAX_HOPS)
+        with pytest.raises(RouteError, match="loop"):
+            w.next_hop()
+
+
+class TestForwardedTraffic:
+    def _run(self, program, config=None):
+        world = MPIWorld(config or island_config())
+        return world.run(program), world
+
+    def test_eager_across_gateway(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(b"ping", dest=2, tag=1)
+                data, _ = yield from comm.recv(source=2, tag=2)
+                return data
+            if comm.rank == 2:
+                data, _ = yield from comm.recv(source=0, tag=1)
+                yield from comm.send(b"pong", dest=0, tag=2)
+                return data
+            return None
+
+        results, world = self._run(program)
+        assert results[0] == b"pong" and results[2] == b"ping"
+        assert world.envs[1].inter_device.packets_relayed == 2
+
+    def test_rendezvous_across_gateway(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(b"", dest=2, tag=1, size=500_000)
+                return None
+            if comm.rank == 2:
+                _, status = yield from comm.recv(source=0, tag=1)
+                return status.count
+            return None
+
+        results, world = self._run(program)
+        assert results[2] == 500_000
+        # Request, ack, and data all relayed: >= 3 relays.
+        assert world.envs[1].inter_device.packets_relayed >= 3
+
+    def test_two_hop_chain(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send("end-to-end", dest=3, tag=1)
+                return None
+            if comm.rank == 3:
+                data, _ = yield from comm.recv(source=0, tag=1)
+                return data
+            return None
+
+        results, world = self._run(program, chain_config())
+        assert results[3] == "end-to-end"
+        assert world.envs[1].inter_device.packets_relayed == 1
+        assert world.envs[2].inter_device.packets_relayed == 1
+
+    def test_collectives_over_forwarded_topology(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            total = yield from comm.allreduce(comm.rank + 1, op=SUM)
+            gathered = yield from comm.gather(comm.rank, root=0)
+            yield from comm.barrier()
+            return (total, gathered)
+
+        results, _ = self._run(program)
+        assert all(r[0] == 6 for r in results)
+        assert results[0][1] == [0, 1, 2]
+
+    def test_without_forwarding_raises(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            if mpi.rank == 0:
+                with pytest.raises(ConfigurationError,
+                                   match="shares no network"):
+                    yield from comm.send(b"x", dest=2)
+            return None
+            yield  # pragma: no cover
+
+        self._run(program, island_config(forwarding=False))
+
+    def test_forwarding_latency_is_sum_of_hops_plus_relay(self):
+        """Forwarded latency must exceed each single hop but stay within
+        the sum of hops plus a bounded relay cost."""
+        from repro.bench.pingpong import custom_pingpong
+        direct_sci = custom_pingpong(island_config(), 4, ranks=(0, 1),
+                                     label="sci-hop")
+        direct_bip = custom_pingpong(island_config(), 4, ranks=(1, 2),
+                                     label="bip-hop")
+        via_gateway = custom_pingpong(island_config(), 4, ranks=(0, 2),
+                                      label="forwarded")
+        hop_sum = direct_sci.one_way_ns + direct_bip.one_way_ns
+        assert via_gateway.one_way_ns > max(direct_sci.one_way_ns,
+                                            direct_bip.one_way_ns)
+        assert hop_sum < via_gateway.one_way_ns < hop_sum + 40_000

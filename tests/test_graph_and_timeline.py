@@ -1,0 +1,127 @@
+"""Tests for graph topologies and the timeline analysis tool."""
+
+import pytest
+
+from repro.cluster import MPIWorld, paper_cluster
+from repro.errors import MPIError
+from repro.mpi.graph import GraphComm, create_graph
+from tests.helpers import run_ranks
+
+
+#: The MPI-1 standard's example graph: 0-1, 0-3, 1-0, 2-3, 3-0, 3-2.
+RING_INDEX = (2, 3, 4, 6)
+RING_EDGES = (1, 3, 0, 3, 0, 2)
+
+
+class TestGraphComm:
+    def test_standard_example_neighbors(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            graph = yield from create_graph(comm, RING_INDEX, RING_EDGES)
+            return graph.neighbors
+
+        results = run_ranks(program, nranks=4)
+        assert results == [(1, 3), (0,), (3,), (0, 2)]
+
+    def test_dims(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            graph = yield from create_graph(comm, RING_INDEX, RING_EDGES)
+            return (graph.nnodes, graph.nedges,
+                    [graph.neighbor_count(r) for r in range(4)])
+
+        results = run_ranks(program, nranks=4)
+        assert results[0] == (4, 6, [2, 1, 1, 2])
+
+    def test_neighbor_exchange(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            graph = yield from create_graph(comm, RING_INDEX, RING_EDGES)
+            got = yield from graph.neighbor_exchange(graph.rank * 10)
+            return got
+
+        results = run_ranks(program, nranks=4)
+        assert results[0] == {1: 10, 3: 30}
+        assert results[1] == {0: 0}
+        assert results[3] == {0: 0, 2: 20}
+
+    def test_bad_index_length(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            with pytest.raises(MPIError, match="index"):
+                yield from create_graph(comm, (1, 2), (0, 1))
+            yield from comm.barrier()
+
+        run_ranks(program, nranks=4)
+
+    def test_edge_out_of_range(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            with pytest.raises(MPIError, match="out of range"):
+                yield from create_graph(comm, (1, 2), (1, 9))
+            yield from comm.barrier()
+
+        run_ranks(program, nranks=2)
+
+    def test_decreasing_index_rejected(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            with pytest.raises(MPIError, match="non-decreasing"):
+                yield from create_graph(comm, (2, 1), (0, 1, 0))
+            yield from comm.barrier()
+
+        run_ranks(program, nranks=2)
+
+
+class TestTimeline:
+    def _traced_run(self):
+        world = MPIWorld(paper_cluster(nodes=2, networks=("sisci", "tcp")))
+        world.engine.enable_tracing()
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(b"", dest=1, tag=1, size=100)
+                yield from comm.send(b"", dest=1, tag=2, size=50_000)
+            else:
+                yield from comm.recv(source=0, tag=1)
+                yield from comm.recv(source=0, tag=2)
+
+        world.run(program)
+        return world
+
+    def test_cpu_report_lists_pollers(self):
+        from repro.bench.timeline import cpu_report
+        report = cpu_report(self._traced_run())
+        assert "poll.sisci" in report
+        assert "cpu (us)" in report
+
+    def test_network_report_counts_traffic(self):
+        from repro.bench.timeline import network_report
+        report = network_report(self._traced_run())
+        assert "sisci" in report and "tcp" in report
+
+    def test_packet_mix(self):
+        from repro.bench.timeline import packet_mix
+        world = self._traced_run()
+        report = packet_mix(world.engine.tracer.records)
+        assert "MAD_SHORT_PKT" in report
+        assert "MAD_RNDV_PKT" in report
+
+    def test_message_timeline_histogram(self):
+        from repro.bench.timeline import message_timeline
+        world = self._traced_run()
+        text = message_timeline(world.engine.tracer.records, bucket_us=50)
+        assert "deliveries per 50 us bucket" in text
+        assert "#" in text
+
+    def test_message_timeline_empty(self):
+        from repro.bench.timeline import message_timeline
+        assert "no deliveries" in message_timeline([])
+
+    def test_full_report(self):
+        from repro.bench.timeline import full_report
+        report = full_report(self._traced_run())
+        assert "CPU attribution" in report
+        assert "Network traffic" in report
+        assert "ch_mad packet mix" in report

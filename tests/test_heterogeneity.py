@@ -1,0 +1,157 @@
+"""Tests for mixed-endian clusters (the ADI heterogeneity box, Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, MPIWorld, NodeSpec
+from repro.errors import ConfigurationError
+
+
+def mixed_cluster(conversion=True):
+    return ClusterConfig(nodes=[
+        NodeSpec("intel", networks=("sisci",), byte_order="little"),
+        NodeSpec("sparc", networks=("sisci",), byte_order="big"),
+    ], device="ch_mad", heterogeneity_conversion=conversion)
+
+
+def exchange_program(mpi):
+    comm = mpi.comm_world
+    values = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+    if comm.rank == 0:
+        yield from comm.send(values, dest=1, tag=1)
+        data, _ = yield from comm.recv(source=1, tag=2)
+        return data
+    data, _ = yield from comm.recv(source=0, tag=1)
+    yield from comm.send(values * 10, dest=0, tag=2)
+    return data
+
+
+class TestValidation:
+    def test_bad_byte_order_rejected(self):
+        with pytest.raises(ConfigurationError, match="byte_order"):
+            NodeSpec("n", byte_order="middle")
+
+
+class TestConversion:
+    def test_mixed_endian_values_survive(self):
+        world = MPIWorld(mixed_cluster())
+        results = world.run(exchange_program)
+        assert np.array_equal(results[0], [10.0, 20.0, 30.0])
+        assert np.array_equal(results[1], [1.0, 2.0, 3.0])
+        # Both directions crossed a representation boundary.
+        assert world.envs[0].progress.conversions == 1
+        assert world.envs[1].progress.conversions == 1
+
+    def test_same_endian_pays_nothing(self):
+        config = ClusterConfig(nodes=[
+            NodeSpec("a", networks=("sisci",)),
+            NodeSpec("b", networks=("sisci",)),
+        ])
+        world = MPIWorld(config)
+        world.run(exchange_program)
+        assert world.envs[0].progress.conversions == 0
+        assert world.envs[1].progress.conversions == 0
+
+    def test_conversion_costs_time(self):
+        def timed(config):
+            world = MPIWorld(config)
+
+            def program(mpi):
+                comm = mpi.comm_world
+                payload = np.zeros(8192, dtype=np.float64)
+                if comm.rank == 0:
+                    yield from comm.send(payload, dest=1, tag=1)
+                else:
+                    yield from comm.recv(source=0, tag=1)
+
+            world.run(program)
+            return world.engine.now
+
+        same = timed(ClusterConfig(nodes=[
+            NodeSpec("a", networks=("sisci",)),
+            NodeSpec("b", networks=("sisci",))]))
+        mixed = timed(mixed_cluster())
+        assert mixed > same, "conversion must cost simulated time"
+
+    def test_rendezvous_path_converts_too(self):
+        world = MPIWorld(mixed_cluster())
+
+        def program(mpi):
+            comm = mpi.comm_world
+            payload = np.arange(20_000, dtype=np.float64)  # rendezvous
+            if comm.rank == 0:
+                yield from comm.send(payload, dest=1, tag=1)
+                return None
+            data, _ = yield from comm.recv(source=0, tag=1)
+            return float(data[19_999])
+
+        results = world.run(program)
+        assert results[1] == 19_999.0
+        assert world.envs[1].progress.conversions == 1
+
+    def test_bytes_payloads_pass_through(self):
+        world = MPIWorld(mixed_cluster())
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(b"\x01\x02", dest=1, tag=1)
+                return None
+            data, _ = yield from comm.recv(source=0, tag=1)
+            return data
+
+        results = world.run(program)
+        assert results[1] == b"\x01\x02"
+        assert world.envs[1].progress.conversions == 0
+
+
+class TestConversionAblation:
+    def test_without_conversion_numbers_are_garbage(self):
+        world = MPIWorld(mixed_cluster(conversion=False))
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(np.array([1.0]), dest=1, tag=1)
+                return None
+            data, _ = yield from comm.recv(source=0, tag=1)
+            return float(data[0])
+
+        results = world.run(program)
+        # The raw byteswap of IEEE-754 1.0 is NOT 1.0.
+        assert results[1] != 1.0
+        assert results[1] == float(np.array([1.0]).byteswap()[0])
+
+    def test_single_byte_dtypes_are_immune(self):
+        world = MPIWorld(mixed_cluster(conversion=False))
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(np.array([7], dtype=np.uint8),
+                                     dest=1, tag=1)
+                return None
+            data, _ = yield from comm.recv(source=0, tag=1)
+            return int(data[0])
+
+        assert world.run(program)[1] == 7
+
+
+class TestMixedEndianCollectives:
+    def test_allreduce_across_representations(self):
+        config = ClusterConfig(nodes=[
+            NodeSpec("a", networks=("sisci",), byte_order="little"),
+            NodeSpec("b", networks=("sisci",), byte_order="big"),
+            NodeSpec("c", networks=("sisci",), byte_order="little"),
+        ])
+        world = MPIWorld(config)
+
+        def program(mpi):
+            comm = mpi.comm_world
+            send = np.full(4, float(comm.rank + 1))
+            recv = np.zeros(4)
+            yield from comm.Allreduce(send, recv)
+            return recv.tolist()
+
+        results = world.run(program)
+        assert all(r == [6.0] * 4 for r in results)

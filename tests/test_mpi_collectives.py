@@ -1,0 +1,267 @@
+"""Integration tests for collective operations across world sizes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.reduce_ops import MAX, MAXLOC, MIN, MINLOC, PROD, SUM, user_op
+from tests.helpers import run_ranks
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+class TestBarrier:
+    def test_barrier_synchronizes(self, nranks):
+        def program(mpi):
+            from repro.sim.coroutines import now, sleep
+            from repro.units import us
+            comm = mpi.comm_world
+            # Stagger arrivals; everyone must leave after the last arrival.
+            yield sleep(us(100) * comm.rank)
+            yield from comm.barrier()
+            t = yield now()
+            return t
+
+        times = run_ranks(program, nranks=nranks)
+        last_arrival = (nranks - 1) * 100_000
+        assert all(t >= last_arrival for t in times)
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+class TestBcast:
+    def test_bcast_object(self, nranks, root):
+        root = nranks - 1 if root == "last" else root
+
+        def program(mpi):
+            comm = mpi.comm_world
+            obj = {"payload": 42} if comm.rank == root else None
+            result = yield from comm.bcast(obj, root=root)
+            return result
+
+        assert run_ranks(program, nranks=nranks) == [{"payload": 42}] * nranks
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+class TestReduce:
+    def test_reduce_sum(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.reduce(comm.rank + 1, op=SUM, root=0)
+            return result
+
+        results = run_ranks(program, nranks=nranks)
+        assert results[0] == sum(range(1, nranks + 1))
+        assert all(r is None for r in results[1:])
+
+    def test_reduce_noncommutative_preserves_rank_order(self, nranks):
+        concat = user_op(lambda a, b: a + b, commutative=False)
+
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.reduce([comm.rank], op=concat, root=0)
+            return result
+
+        results = run_ranks(program, nranks=nranks)
+        assert results[0] == list(range(nranks))
+
+    def test_allreduce_max(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            value = (comm.rank * 7) % 5
+            result = yield from comm.allreduce(value, op=MAX)
+            return result
+
+        expected = max((r * 7) % 5 for r in range(nranks))
+        assert run_ranks(program, nranks=nranks) == [expected] * nranks
+
+    def test_allreduce_minloc(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            value = abs(comm.rank - 2)
+            result = yield from comm.allreduce((value, comm.rank), op=MINLOC)
+            return result
+
+        values = [(abs(r - 2), r) for r in range(nranks)]
+        expected = min(values)
+        assert run_ranks(program, nranks=nranks) == [expected] * nranks
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+class TestGatherScatter:
+    def test_gather(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.gather(comm.rank ** 2, root=0)
+            return result
+
+        results = run_ranks(program, nranks=nranks)
+        assert results[0] == [r ** 2 for r in range(nranks)]
+
+    def test_scatter(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            items = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            result = yield from comm.scatter(items, root=0)
+            return result
+
+        assert run_ranks(program, nranks=nranks) == [f"item{r}" for r in range(nranks)]
+
+    def test_allgather(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.allgather(comm.rank * 10)
+            return result
+
+        expected = [r * 10 for r in range(nranks)]
+        assert run_ranks(program, nranks=nranks) == [expected] * nranks
+
+    def test_alltoall(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            outgoing = [(comm.rank, dest) for dest in range(comm.size)]
+            result = yield from comm.alltoall(outgoing)
+            return result
+
+        results = run_ranks(program, nranks=nranks)
+        for me, got in enumerate(results):
+            assert got == [(src, me) for src in range(nranks)]
+
+
+@pytest.mark.parametrize("nranks", SIZES)
+class TestScan:
+    def test_inclusive_scan(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.scan(comm.rank + 1, op=SUM)
+            return result
+
+        expected = [sum(range(1, r + 2)) for r in range(nranks)]
+        assert run_ranks(program, nranks=nranks) == expected
+
+    def test_exclusive_scan(self, nranks):
+        def program(mpi):
+            comm = mpi.comm_world
+            result = yield from comm.exscan(comm.rank + 1, op=SUM)
+            return result
+
+        results = run_ranks(program, nranks=nranks)
+        assert results[0] is None
+        for r in range(1, nranks):
+            assert results[r] == sum(range(1, r + 1))
+
+
+class TestBufferCollectives:
+    def test_Bcast(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            arr = np.zeros(16, dtype=np.float64)
+            if comm.rank == 0:
+                arr[:] = np.arange(16)
+            yield from comm.Bcast(arr, root=0)
+            return float(arr.sum())
+
+        assert run_ranks(program, nranks=4) == [120.0] * 4
+
+    def test_Reduce(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            send = np.full(8, comm.rank + 1, dtype=np.int64)
+            recv = np.zeros(8, dtype=np.int64) if comm.rank == 0 else None
+            yield from comm.Reduce(send, recv, op=SUM, root=0)
+            return None if recv is None else int(recv[0])
+
+        results = run_ranks(program, nranks=3)
+        assert results[0] == 6
+
+    def test_Allreduce_elementwise(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            send = np.arange(4, dtype=np.float64) * (comm.rank + 1)
+            recv = np.zeros(4, dtype=np.float64)
+            yield from comm.Allreduce(send, recv, op=SUM)
+            return recv.tolist()
+
+        results = run_ranks(program, nranks=3)
+        expected = (np.arange(4) * 6.0).tolist()
+        assert all(r == expected for r in results)
+
+    def test_Gather_Scatter(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            send = np.full(4, comm.rank, dtype=np.int32)
+            recv = (np.zeros(4 * comm.size, dtype=np.int32)
+                    if comm.rank == 0 else None)
+            yield from comm.Gather(send, recv, root=0)
+            back = np.zeros(4, dtype=np.int32)
+            yield from comm.Scatter(recv, back, root=0)
+            return back.tolist()
+
+        results = run_ranks(program, nranks=3)
+        for r, got in enumerate(results):
+            assert got == [r] * 4
+
+    def test_Allgather(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            send = np.array([comm.rank], dtype=np.int64)
+            recv = np.zeros(comm.size, dtype=np.int64)
+            yield from comm.Allgather(send, recv)
+            return recv.tolist()
+
+        results = run_ranks(program, nranks=4)
+        assert all(r == [0, 1, 2, 3] for r in results)
+
+    def test_matvec_allgather_idiom(self):
+        """The mpi4py tutorial's parallel matrix-vector product."""
+        def program(mpi):
+            comm = mpi.comm_world
+            p = comm.size
+            m = 3  # local rows
+            n = m * p
+            A = np.arange(m * n, dtype=np.float64).reshape(m, n) + comm.rank
+            x = np.full(m, comm.rank + 1.0)
+            xg = np.zeros(n, dtype=np.float64)
+            yield from comm.Allgather(x, xg)
+            y = A @ xg
+            return y.tolist()
+
+        results = run_ranks(program, nranks=3)
+        # Verify against a serial computation.
+        p, m = 3, 3
+        n = m * p
+        xg = np.concatenate([np.full(m, r + 1.0) for r in range(p)])
+        for r in range(p):
+            A = np.arange(m * n, dtype=np.float64).reshape(m, n) + r
+            assert results[r] == (A @ xg).tolist()
+
+
+class TestCollectiveSequences:
+    def test_back_to_back_collectives_do_not_cross_match(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            a = yield from comm.bcast(comm.rank if comm.rank == 0 else None, 0)
+            b = yield from comm.bcast(comm.rank if comm.rank == 1 else None, 1)
+            c = yield from comm.allreduce(1, op=SUM)
+            yield from comm.barrier()
+            d = yield from comm.gather(comm.rank, root=0)
+            return (a, b, c, d)
+
+        results = run_ranks(program, nranks=4)
+        for rank, (a, b, c, d) in enumerate(results):
+            assert a == 0 and b == 1 and c == 4
+        assert results[0][3] == [0, 1, 2, 3]
+
+    def test_collectives_do_not_match_user_receives(self):
+        """Collective traffic lives in the hidden context."""
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send("user", dest=1, tag=1)
+                yield from comm.barrier()
+                return None
+            yield from comm.barrier()
+            data, _ = yield from comm.recv(source=0, tag=1)
+            return data
+
+        assert run_ranks(program)[1] == "user"

@@ -1,0 +1,229 @@
+"""Unit and property tests for the MPI datatype engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MPIDatatypeError
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    contiguous,
+    hvector,
+    indexed,
+    struct,
+    vector,
+)
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_basic_types_are_committed(self):
+        assert INT.committed
+
+    def test_basic_is_contiguous(self):
+        assert DOUBLE.is_contiguous
+
+    def test_pack_identity(self):
+        buf = np.arange(10, dtype=np.int32)
+        assert np.array_equal(INT.pack(buf, count=10), buf)
+
+    def test_unpack_identity(self):
+        out = np.zeros(5, dtype=np.float64)
+        DOUBLE.unpack(np.array([1.0, 2, 3, 4, 5]), out, count=5)
+        assert np.array_equal(out, [1, 2, 3, 4, 5])
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(MPIDatatypeError, match="dtype"):
+            INT.pack(np.zeros(4, dtype=np.float64))
+
+
+class TestContiguous:
+    def test_size_and_extent(self):
+        t = contiguous(5, INT).commit()
+        assert t.size == 20
+        assert t.extent == 20
+        assert t.is_contiguous
+
+    def test_pack_roundtrip(self):
+        t = contiguous(3, DOUBLE).commit()
+        buf = np.arange(9, dtype=np.float64)
+        packed = t.pack(buf, count=3)
+        out = np.zeros(9, dtype=np.float64)
+        t.unpack(packed, out, count=3)
+        assert np.array_equal(out, buf)
+
+    def test_uncommitted_rejected(self):
+        t = contiguous(2, INT)
+        with pytest.raises(MPIDatatypeError, match="not committed"):
+            t.pack(np.zeros(4, dtype=np.int32))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(MPIDatatypeError):
+            contiguous(-1, INT)
+
+
+class TestVector:
+    def test_column_of_matrix(self):
+        """The mpi4py-guide idiom: a strided column."""
+        rows, cols = 4, 6
+        t = vector(count=rows, blocklength=1, stride=cols, base=DOUBLE).commit()
+        matrix = np.arange(rows * cols, dtype=np.float64)
+        packed = t.pack(matrix)
+        assert np.array_equal(packed, matrix.reshape(rows, cols)[:, 0])
+
+    def test_not_contiguous(self):
+        assert not vector(3, 1, 2, INT).commit().is_contiguous
+
+    def test_vector_with_blocklength(self):
+        t = vector(count=2, blocklength=2, stride=4, base=INT).commit()
+        buf = np.arange(8, dtype=np.int32)
+        assert np.array_equal(t.pack(buf), [0, 1, 4, 5])
+
+    def test_unpack_scatters_back(self):
+        t = vector(count=3, blocklength=1, stride=2, base=INT).commit()
+        out = np.zeros(6, dtype=np.int32)
+        t.unpack(np.array([7, 8, 9], dtype=np.int32), out)
+        assert np.array_equal(out, [7, 0, 8, 0, 9, 0])
+
+    def test_size_vs_extent(self):
+        t = vector(3, 1, 4, INT).commit()
+        assert t.size == 12          # 3 ints of data
+        assert t.extent == 36        # spans (3-1)*4+1 = 9 ints
+
+    def test_hvector_byte_stride(self):
+        t = hvector(count=2, blocklength=1, stride_bytes=12, base=INT).commit()
+        buf = np.arange(6, dtype=np.int32)
+        assert np.array_equal(t.pack(buf), [0, 3])
+
+    def test_misaligned_hvector_rejected(self):
+        t = hvector(count=2, blocklength=1, stride_bytes=5, base=INT).commit()
+        with pytest.raises(MPIDatatypeError, match="aligned"):
+            t.pack(np.zeros(8, dtype=np.int32))
+
+
+class TestIndexed:
+    def test_basic_layout(self):
+        t = indexed([2, 1], [0, 4], INT).commit()
+        buf = np.arange(8, dtype=np.int32)
+        assert np.array_equal(t.pack(buf), [0, 1, 4])
+
+    def test_roundtrip(self):
+        t = indexed([1, 3], [5, 0], DOUBLE).commit()
+        buf = np.arange(8, dtype=np.float64)
+        packed = t.pack(buf)
+        out = np.zeros(8, dtype=np.float64)
+        t.unpack(packed, out)
+        assert out[5] == 5 and np.array_equal(out[0:3], [0, 1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MPIDatatypeError):
+            indexed([1, 2], [0], INT)
+
+    def test_buffer_too_small(self):
+        t = indexed([1], [10], INT).commit()
+        with pytest.raises(MPIDatatypeError, match="too small"):
+            t.pack(np.zeros(4, dtype=np.int32))
+
+
+class TestStruct:
+    def test_pack_heterogeneous_fields(self):
+        # struct { int32 a; float64 b; } with a hole for alignment.
+        t = struct([(0, 1, INT), (8, 1, DOUBLE)], extent=16).commit()
+        raw = np.zeros(16, dtype=np.uint8)
+        raw[0:4] = np.array([42, 0, 0, 0], dtype=np.uint8)
+        raw[8:16] = np.frombuffer(np.float64(3.5).tobytes(), dtype=np.uint8)
+        packed = t.pack(raw)
+        assert packed.size == t.size == 12
+        out = np.zeros(16, dtype=np.uint8)
+        t.unpack(packed, out)
+        assert np.array_equal(out[0:4], raw[0:4])
+        assert np.array_equal(out[8:16], raw[8:16])
+
+    def test_multiple_instances(self):
+        t = struct([(0, 2, INT)], extent=12).commit()
+        raw = np.zeros(24, dtype=np.uint8)
+        raw[:] = np.arange(24)
+        packed = t.pack(raw, count=2)
+        assert packed.size == 16
+
+    def test_signature(self):
+        t = struct([(0, 1, INT), (8, 2, DOUBLE)])
+        assert t.signature() == (("MPI_INT", 1), ("MPI_DOUBLE", 2))
+
+    def test_requires_uint8_buffer(self):
+        t = struct([(0, 1, INT)]).commit()
+        with pytest.raises(MPIDatatypeError, match="uint8"):
+            t.pack(np.zeros(4, dtype=np.int32))
+
+    def test_struct_not_nestable(self):
+        t = struct([(0, 1, INT)])
+        with pytest.raises(MPIDatatypeError, match="nested"):
+            contiguous(2, t)
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+@st.composite
+def vector_specs(draw):
+    count = draw(st.integers(1, 8))
+    blocklength = draw(st.integers(1, 5))
+    stride = draw(st.integers(blocklength, 10))
+    return count, blocklength, stride
+
+
+class TestProperties:
+    @given(vector_specs(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_vector_pack_unpack_roundtrip(self, spec, count):
+        vcount, blocklength, stride = spec
+        t = vector(vcount, blocklength, stride, DOUBLE).commit()
+        elems = (t.extent // DOUBLE.extent) * count + 4
+        buf = np.random.default_rng(0).random(elems)
+        packed = t.pack(buf, count=count)
+        out = np.full(elems, -1.0)
+        t.unpack(packed, out, count=count)
+        repacked = t.pack(out, count=count)
+        assert np.array_equal(packed, repacked)
+
+    @given(vector_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_vector_size_is_data_bytes(self, spec):
+        count, blocklength, stride = spec
+        t = vector(count, blocklength, stride, INT).commit()
+        assert t.size == count * blocklength * 4
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 12)),
+                    min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_indexed_packs_exactly_declared_elements(self, blocks):
+        lengths = [b[0] for b in blocks]
+        disps = []
+        cursor = 0
+        for length, gap in blocks:
+            disps.append(cursor + gap)
+            cursor += gap + length
+        t = indexed(lengths, disps, INT).commit()
+        buf = np.arange(cursor + 8, dtype=np.int32)
+        assert t.pack(buf).size == sum(lengths)
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_contiguous_roundtrip_any_count(self, n):
+        t = contiguous(n, INT).commit()
+        buf = np.arange(max(n, 1), dtype=np.int32)
+        packed = t.pack(buf)
+        out = np.zeros_like(buf)
+        t.unpack(packed, out)
+        assert np.array_equal(out[:n], buf[:n])

@@ -1,0 +1,148 @@
+"""Tests for multiple adapters per protocol and channel striping (§3.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MadeleineError
+from repro.madeleine import MadeleineSession
+from repro.madeleine.striping import stripe_sizes, striped_recv, striped_send
+from repro.networks import base_protocol
+
+
+def make_rail_session(rails=2, protocol="bip"):
+    session = MadeleineSession()
+    names = [protocol] + [f"{protocol}#{i}" for i in range(1, rails)]
+    for name in names:
+        session.add_fabric(name)
+    for _ in range(2):
+        session.add_process(networks=names)
+    channels = [session.new_channel(name, name) for name in names]
+    return session, channels
+
+
+class TestBaseProtocol:
+    def test_strip_suffix(self):
+        assert base_protocol("bip#1") == "bip"
+        assert base_protocol("sisci") == "sisci"
+
+    def test_rail_fabric_inherits_params(self):
+        session, _ = make_rail_session()
+        assert session.fabrics["bip#1"].params.name == "bip"
+        assert session.fabrics["bip#1"].name == "bip#1"
+
+    def test_unknown_base_still_rejected(self):
+        session = MadeleineSession()
+        with pytest.raises(Exception):
+            session.add_fabric("quadrics#1")
+
+
+class TestStripeSizes:
+    def test_even_split(self):
+        assert stripe_sizes(100, 2) == [50, 50]
+
+    def test_remainder_spread(self):
+        assert stripe_sizes(10, 3) == [4, 3, 3]
+
+    def test_zero(self):
+        assert stripe_sizes(0, 2) == [0, 0]
+
+    def test_bad_args(self):
+        with pytest.raises(MadeleineError):
+            stripe_sizes(10, 0)
+        with pytest.raises(MadeleineError):
+            stripe_sizes(-1, 2)
+
+    @given(st.integers(0, 10**7), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, total, rails):
+        sizes = stripe_sizes(total, rails)
+        assert sum(sizes) == total
+        assert len(sizes) == rails
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestStripedTransfer:
+    def _roundtrip(self, rails, size, payload=b"data"):
+        session, channels = make_rail_session(rails=rails)
+        p0, p1 = session.processes
+        ports0 = [p0.port(c) for c in channels]
+        ports1 = [p1.port(c) for c in channels]
+        out = []
+
+        def sender():
+            yield from striped_send(ports0, 1, payload, size)
+
+        def receiver():
+            data = yield from striped_recv(ports1, size)
+            out.append(data)
+
+        p0.runtime.spawn(sender)
+        p1.runtime.spawn(receiver)
+        elapsed = session.run()
+        return out[0], elapsed
+
+    def test_payload_delivered(self):
+        data, _ = self._roundtrip(rails=2, size=100_000)
+        assert data == b"data"
+
+    def test_single_rail_degenerates_gracefully(self):
+        data, _ = self._roundtrip(rails=1, size=50_000)
+        assert data == b"data"
+
+    def test_zero_byte_transfer(self):
+        data, _ = self._roundtrip(rails=2, size=0)
+        assert data == b"data"
+
+    def test_tiny_transfer_skips_empty_rails(self):
+        data, _ = self._roundtrip(rails=4, size=2)
+        assert data == b"data"
+
+    def test_two_rails_nearly_double_bandwidth(self):
+        size = 2_000_000
+        _, one_rail = self._roundtrip(rails=1, size=size)
+        _, two_rails = self._roundtrip(rails=2, size=size)
+        speedup = one_rail / two_rails
+        assert speedup > 1.7, f"striping speedup only {speedup:.2f}x"
+
+    def test_three_rails_scale_further(self):
+        size = 3_000_000
+        _, one = self._roundtrip(rails=1, size=size)
+        _, three = self._roundtrip(rails=3, size=size)
+        assert one / three > 2.3
+
+    def test_empty_ports_rejected(self):
+        session, _ = make_rail_session()
+        p0 = session.processes[0]
+
+        def sender():
+            yield from striped_send([], 1, b"", 10)
+
+        task = p0.runtime.spawn(sender)
+        with pytest.raises(MadeleineError):
+            session.run()
+
+
+class TestChMadOnMultiRailNodes:
+    def test_ch_mad_uses_first_rail(self):
+        """ch_mad remains single-rail (per the paper); it must pick the
+        base rail and still work on a multi-rail node."""
+        from repro.cluster import ClusterConfig, MPIWorld, NodeSpec
+
+        nodes = [NodeSpec(f"n{i}", networks=("bip", "bip#1"))
+                 for i in range(2)]
+        config = ClusterConfig(nodes=nodes, device="ch_mad")
+
+        def program(mpi):
+            comm = mpi.comm_world
+            port = mpi.inter_device.select_port(1 - mpi.rank)
+            if comm.rank == 0:
+                yield from comm.send(b"multi-rail", dest=1)
+                return port.channel.protocol
+            data, _ = yield from comm.recv(source=0)
+            return (port.channel.protocol, data)
+
+        world = MPIWorld(config)
+        results = world.run(program)
+        assert results[0] == "bip"
+        assert results[1] == ("bip", b"multi-rail")
+        assert world.envs[0].inter_device.eager_threshold == 7 * 1024

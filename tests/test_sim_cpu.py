@@ -1,0 +1,288 @@
+"""Unit tests for the CPU scheduler and coroutine tasks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    CPU,
+    Engine,
+    Semaphore,
+    TaskState,
+    charge,
+    now,
+    sleep,
+    wait,
+    yield_cpu,
+)
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def cpu(engine):
+    return CPU(engine, name="test-cpu")
+
+
+def test_task_runs_to_completion(engine, cpu):
+    seen = []
+
+    def body():
+        seen.append("start")
+        yield charge(100)
+        seen.append("end")
+
+    task = cpu.spawn(body)
+    engine.run()
+    assert seen == ["start", "end"]
+    assert task.state is TaskState.DONE
+    assert engine.now == 100
+
+
+def test_task_return_value(engine, cpu):
+    def body():
+        yield charge(1)
+        return 42
+
+    task = cpu.spawn(body)
+    engine.run()
+    assert task.result == 42
+
+
+def test_charge_holds_the_cpu(engine, cpu):
+    """While one task charges, another ready task must not run."""
+    order = []
+
+    def long_worker():
+        order.append(("long-start", engine.now))
+        yield charge(1000)
+        order.append(("long-end", engine.now))
+
+    def short_worker():
+        order.append(("short-start", engine.now))
+        yield charge(10)
+        order.append(("short-end", engine.now))
+
+    cpu.spawn(long_worker)
+    cpu.spawn(short_worker)
+    engine.run()
+    assert order == [
+        ("long-start", 0),
+        ("long-end", 1000),
+        ("short-start", 1000),
+        ("short-end", 1010),
+    ]
+
+
+def test_sleep_releases_the_cpu(engine, cpu):
+    order = []
+
+    def sleeper():
+        yield sleep(1000)
+        order.append(("sleeper", engine.now))
+
+    def worker():
+        yield charge(10)
+        order.append(("worker", engine.now))
+
+    cpu.spawn(sleeper)
+    cpu.spawn(worker)
+    engine.run()
+    assert order == [("worker", 10), ("sleeper", 1000)]
+
+
+def test_zero_charge_is_free(engine, cpu):
+    def body():
+        yield charge(0)
+        yield charge(0)
+
+    cpu.spawn(body)
+    engine.run()
+    assert engine.now == 0
+
+
+def test_get_time_syscall(engine, cpu):
+    times = []
+
+    def body():
+        times.append((yield now()))
+        yield charge(500)
+        times.append((yield now()))
+
+    cpu.spawn(body)
+    engine.run()
+    assert times == [0, 500]
+
+
+def test_yield_cpu_round_robins(engine, cpu):
+    order = []
+
+    def worker(label):
+        for _ in range(3):
+            order.append(label)
+            yield yield_cpu()
+
+    cpu.spawn(worker("a"))
+    cpu.spawn(worker("b"))
+    engine.run()
+    assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_join_returns_result(engine, cpu):
+    results = []
+
+    def child():
+        yield charge(100)
+        return "child-result"
+
+    def parent():
+        task = cpu.spawn(child)
+        value = yield wait(task)
+        results.append((value, engine.now))
+
+    cpu.spawn(parent)
+    engine.run()
+    assert results == [("child-result", 100)]
+
+
+def test_join_already_finished_task(engine, cpu):
+    results = []
+
+    def child():
+        yield charge(1)
+        return "early"
+
+    child_task = cpu.spawn(child)
+
+    def parent():
+        yield sleep(1000)
+        value = yield wait(child_task)
+        results.append(value)
+
+    cpu.spawn(parent)
+    engine.run()
+    assert results == ["early"]
+
+
+def test_task_exception_propagates_to_run(engine, cpu):
+    def body():
+        yield charge(1)
+        raise ValueError("boom")
+
+    task = cpu.spawn(body)
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()
+    assert task.state is TaskState.FAILED
+    assert isinstance(task.exception, ValueError)
+
+
+def test_spawn_rejects_non_generator(engine, cpu):
+    with pytest.raises(SimulationError, match="generator"):
+        cpu.spawn(lambda: 42)
+
+
+def test_kill_blocked_task(engine, cpu):
+    sem = Semaphore(0)
+
+    def body():
+        yield wait(sem)
+
+    task = cpu.spawn(body)
+    engine.run()
+    assert task.state is TaskState.BLOCKED
+    task.kill()
+    assert task.state is TaskState.KILLED
+    # Releasing afterwards must not wake the corpse.
+    sem.release()
+    engine.run()
+    assert task.state is TaskState.KILLED
+
+
+def test_switch_cost_charged_between_tasks(engine):
+    cpu = CPU(engine, switch_cost=50)
+    order = []
+
+    def worker(label):
+        order.append((label, engine.now))
+        yield charge(100)
+
+    cpu.spawn(worker("a"))
+    cpu.spawn(worker("b"))
+    engine.run()
+    # a starts after one switch (50), b after a's charge plus another switch.
+    assert order == [("a", 50), ("b", 200)]
+
+
+def test_no_switch_cost_when_resuming_same_task(engine):
+    cpu = CPU(engine, switch_cost=50)
+
+    def body():
+        yield charge(100)
+        yield charge(100)
+
+    cpu.spawn(body)
+    engine.run()
+    assert engine.now == 250  # one switch + two charges
+
+
+def test_busy_time_accounting(engine, cpu):
+    def body():
+        yield charge(300)
+        yield sleep(1000)
+        yield charge(200)
+
+    cpu.spawn(body)
+    engine.run()
+    assert cpu.busy_time == 500
+
+
+def test_daemon_flag_and_live_tasks(engine, cpu):
+    sem = Semaphore(0)
+
+    def poller():
+        while True:
+            yield wait(sem)
+
+    def main():
+        yield charge(10)
+
+    daemon_task = cpu.spawn(poller, daemon=True)
+    cpu.spawn(main)
+    engine.run()
+    assert daemon_task in cpu.live_tasks()
+    assert cpu.blocked_nondaemon_tasks() == []
+
+
+def test_nested_generators_with_yield_from(engine, cpu):
+    trace = []
+
+    def helper():
+        yield charge(10)
+        trace.append(("helper", engine.now))
+        return "inner"
+
+    def body():
+        value = yield from helper()
+        trace.append((value, engine.now))
+
+    cpu.spawn(body)
+    engine.run()
+    assert trace == [("helper", 10), ("inner", 10)]
+
+
+def test_two_cpus_run_concurrently(engine):
+    cpu_a = CPU(engine, name="a")
+    cpu_b = CPU(engine, name="b")
+    order = []
+
+    def worker(label):
+        yield charge(100)
+        order.append((label, engine.now))
+
+    cpu_a.spawn(worker("a"))
+    cpu_b.spawn(worker("b"))
+    engine.run()
+    # Both finish at t=100: they do not contend with each other.
+    assert sorted(order) == [("a", 100), ("b", 100)]

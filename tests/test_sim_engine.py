@@ -1,0 +1,169 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_initial_time_is_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_runs_callback_at_delay():
+    engine = Engine()
+    seen = []
+    engine.schedule(100, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100]
+    assert engine.now == 100
+
+
+def test_schedule_with_args():
+    engine = Engine()
+    seen = []
+    engine.schedule(5, seen.append, "x")
+    engine.run()
+    assert seen == ["x"]
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(30, seen.append, "c")
+    engine.schedule(10, seen.append, "a")
+    engine.schedule(20, seen.append, "b")
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    engine = Engine()
+    seen = []
+    for label in "abcdef":
+        engine.schedule(42, seen.append, label)
+    engine.run()
+    assert seen == list("abcdef")
+
+
+def test_nested_scheduling_from_callbacks():
+    engine = Engine()
+    seen = []
+
+    def outer():
+        seen.append(("outer", engine.now))
+        engine.schedule(7, inner)
+
+    def inner():
+        seen.append(("inner", engine.now))
+
+    engine.schedule(3, outer)
+    engine.run()
+    assert seen == [("outer", 3), ("inner", 10)]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: engine.schedule(0, seen.append, engine.now))
+    engine.run()
+    assert seen == [10]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(50, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    seen = []
+    event = engine.schedule(10, seen.append, "no")
+    engine.schedule(5, seen.append, "yes")
+    event.cancel()
+    engine.run()
+    assert seen == ["yes"]
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, "early")
+    engine.schedule(1000, seen.append, "late")
+    final = engine.run(until=500)
+    assert seen == ["early"]
+    assert final == 500
+    engine.run()
+    assert seen == ["early", "late"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    engine = Engine()
+    assert engine.run(until=250) == 250
+    assert engine.now == 250
+
+
+def test_max_events_guards_against_livelock():
+    engine = Engine()
+
+    def respawn():
+        engine.schedule(0, respawn)
+
+    engine.schedule(0, respawn)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=100)
+
+
+def test_pending_counts_live_events_only():
+    engine = Engine()
+    e1 = engine.schedule(10, lambda: None)
+    engine.schedule(20, lambda: None)
+    assert engine.pending() == 2
+    e1.cancel()
+    assert engine.pending() == 1
+
+
+def test_step_returns_false_when_drained():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_events_executed_counter():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(i, lambda: None)
+    engine.run()
+    assert engine.events_executed == 5
+
+
+def test_run_is_not_reentrant():
+    engine = Engine()
+    failure = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            failure.append(exc)
+
+    engine.schedule(1, reenter)
+    engine.run()
+    assert len(failure) == 1

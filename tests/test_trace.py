@@ -1,0 +1,106 @@
+"""Tests for structured tracing and its stack integration."""
+
+from repro.cluster import MPIWorld, two_node_cluster
+from repro.sim import Engine
+from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer, span_durations
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        engine = Engine()
+        assert engine.tracer is NULL_TRACER
+        engine.tracer.emit("anything", x=1)  # no-op, no error
+        assert engine.tracer.select("anything") == []
+
+    def test_emit_records_time_and_fields(self):
+        engine = Engine()
+        tracer = engine.enable_tracing()
+        engine.schedule(100, lambda: tracer.emit("evt", key="v"))
+        engine.run()
+        (record,) = tracer.records
+        assert record.time == 100
+        assert record.category == "evt"
+        assert record["key"] == "v"
+
+    def test_select_filters_by_fields(self):
+        engine = Engine()
+        tracer = engine.enable_tracing()
+        tracer.emit("msg", dst=1)
+        tracer.emit("msg", dst=2)
+        tracer.emit("other", dst=1)
+        assert len(tracer.select("msg")) == 2
+        assert len(tracer.select("msg", dst=2)) == 1
+        assert tracer.categories() == {"msg", "other"}
+
+    def test_sink_called_live(self):
+        engine = Engine()
+        tracer = engine.enable_tracing()
+        seen = []
+        tracer.sink = seen.append
+        tracer.emit("x")
+        assert len(seen) == 1
+
+    def test_disabled_tracer_records_nothing(self):
+        engine = Engine()
+        tracer = Tracer(engine, enabled=False)
+        tracer.emit("x")
+        assert tracer.records == []
+
+    def test_clear(self):
+        engine = Engine()
+        tracer = engine.enable_tracing()
+        tracer.emit("x")
+        tracer.clear()
+        assert tracer.records == []
+
+    def test_span_durations(self):
+        records = [
+            TraceRecord(10, "start", {"id": "a"}),
+            TraceRecord(15, "start", {"id": "b"}),
+            TraceRecord(30, "end", {"id": "a"}),
+            TraceRecord(75, "end", {"id": "b"}),
+        ]
+        assert span_durations(records, "start", "end", "id") == {
+            "a": 20, "b": 60,
+        }
+
+
+class TestStackIntegration:
+    def _traced_world(self, size=100):
+        world = MPIWorld(two_node_cluster(networks=("sisci",)))
+        tracer = world.engine.enable_tracing()
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                yield from comm.send(b"", dest=1, tag=1, size=size)
+            else:
+                yield from comm.recv(source=0, tag=1)
+
+        world.run(program)
+        return tracer
+
+    def test_adi_send_traced_with_mode(self):
+        tracer = self._traced_world(size=100)
+        (record,) = tracer.select("adi.send")
+        assert record["mode"] == "eager"
+        assert record["device"] == "ch_mad"
+        assert record["size"] == 100
+
+    def test_rendezvous_traced(self):
+        tracer = self._traced_world(size=100_000)
+        (record,) = tracer.select("adi.send")
+        assert record["mode"] == "rendezvous"
+        pkts = [r["pkt"] for r in tracer.select("chmad.send")]
+        assert pkts == ["MAD_REQUEST_PKT", "MAD_SENDOK_PKT", "MAD_RNDV_PKT"]
+
+    def test_network_deliveries_traced(self):
+        tracer = self._traced_world(size=100)
+        deliveries = tracer.select("net.deliver", fabric="sisci")
+        assert len(deliveries) == 1
+        assert deliveries[0]["latency"] > 0
+
+    def test_eager_single_packet(self):
+        tracer = self._traced_world(size=100)
+        pkts = [r["pkt"] for r in tracer.select("chmad.send")]
+        assert pkts == ["MAD_SHORT_PKT"]

@@ -1,0 +1,160 @@
+"""Tests for units, status, constants, reduce ops and error types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.errors import MPIError, ReproError, SimulationError
+from repro.mpi.constants import UNDEFINED, infer_size
+from repro.mpi.datatypes import DOUBLE, INT
+from repro.mpi.reduce_ops import (
+    BAND, BOR, BXOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, user_op,
+)
+from repro.mpi.status import Status
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.us(1) == 1000
+        assert units.ms(2) == 2_000_000
+        assert units.seconds(1) == 1_000_000_000
+        assert units.to_us(2500) == 2.5
+        assert units.to_seconds(units.seconds(3)) == 3.0
+
+    def test_rounding(self):
+        assert units.us(1.5) == 1500
+        assert units.ns(0.6) == 1
+
+    def test_sizes(self):
+        assert units.kib(64) == 65536
+        assert units.mib(1) == 1048576
+
+    def test_bandwidth_paper_convention(self):
+        # 1 MB in 1 second -> 1 MB/s with MB = 10^6.
+        assert units.bandwidth_mb_s(1_000_000, units.seconds(1)) == 1.0
+
+    def test_bandwidth_zero_transfer(self):
+        assert units.bandwidth_mb_s(0, 0) == 0.0
+        with pytest.raises(ValueError):
+            units.bandwidth_mb_s(10, 0)
+
+    def test_per_byte_ns(self):
+        assert units.per_byte_ns(100.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            units.per_byte_ns(0)
+
+    @given(st.integers(1, 10**9), st.integers(1, 10**12))
+    @settings(max_examples=50, deadline=None)
+    def test_bandwidth_positive(self, size, elapsed):
+        assert units.bandwidth_mb_s(size, elapsed) > 0
+
+
+class TestInferSize:
+    def test_exact_for_bytes(self):
+        assert infer_size(b"12345") == 5
+        assert infer_size(bytearray(7)) == 7
+
+    def test_exact_for_numpy(self):
+        assert infer_size(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_none_is_zero(self):
+        assert infer_size(None) == 0
+
+    def test_scalars(self):
+        assert infer_size(7) == 8
+        assert infer_size(1.5) == 8
+        assert infer_size(True) == 1
+        assert infer_size(1 + 2j) == 16
+
+    def test_string_utf8(self):
+        assert infer_size("abc") == 3
+
+    def test_containers_recursive(self):
+        assert infer_size([1, 2]) == 8 + 16
+        assert infer_size({"k": 1.0}) == 8 + 1 + 8
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_exact_property(self, blob):
+        assert infer_size(blob) == len(blob)
+
+
+class TestStatus:
+    def test_get_count_bytes(self):
+        assert Status(count=12).get_count() == 12
+
+    def test_get_count_elements(self):
+        assert Status(count=12).get_count(INT) == 3
+        assert Status(count=16).get_count(DOUBLE) == 2
+
+    def test_get_count_partial_is_undefined(self):
+        assert Status(count=10).get_count(DOUBLE) == UNDEFINED
+
+
+class TestReduceOps:
+    def test_scalar_ops(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+        assert MAX(2, 3) == 3
+        assert MIN(2, 3) == 2
+        assert LAND(1, 0) is False
+        assert LOR(1, 0) is True
+        assert BAND(0b110, 0b011) == 0b010
+        assert BOR(0b110, 0b011) == 0b111
+        assert BXOR(0b110, 0b011) == 0b101
+
+    def test_array_ops_elementwise(self):
+        a = np.array([1, 5, 3])
+        b = np.array([4, 2, 3])
+        assert np.array_equal(SUM(a, b), [5, 7, 6])
+        assert np.array_equal(MAX(a, b), [4, 5, 3])
+
+    def test_minloc_maxloc(self):
+        assert MINLOC((3, 0), (1, 1)) == (1, 1)
+        assert MINLOC((1, 0), (1, 1)) == (1, 0)  # tie -> lower index
+        assert MAXLOC((3, 0), (5, 1)) == (5, 1)
+        assert MAXLOC((5, 0), (5, 1)) == (5, 0)
+
+    def test_reduce_sequence(self):
+        assert SUM.reduce_sequence([1, 2, 3, 4]) == 10
+        with pytest.raises(MPIError):
+            SUM.reduce_sequence([])
+
+    def test_user_op(self):
+        concat = user_op(lambda a, b: a + b, commutative=False, name="CAT")
+        assert concat("a", "b") == "ab"
+        assert not concat.commutative
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_builtin(self, values):
+        assert SUM.reduce_sequence(values) == sum(values)
+
+    @given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 20)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_minloc_finds_global_min(self, pairs):
+        result = MINLOC.reduce_sequence(pairs)
+        best_value = min(v for v, _ in pairs)
+        assert result[0] == best_value
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        from repro import errors
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not ReproError:
+                assert issubclass(obj, ReproError), name
+
+    def test_mpi_error_classes(self):
+        from repro.errors import MPIRankError, MPITruncationError
+        assert MPIRankError().error_class == "MPI_ERR_RANK"
+        assert MPITruncationError().error_class == "MPI_ERR_TRUNCATE"
+
+    def test_deadlock_error_carries_blocked_list(self):
+        from repro.errors import DeadlockError
+        err = DeadlockError("hung", blocked=["rank0.main"])
+        assert err.blocked == ["rank0.main"]
