@@ -30,6 +30,38 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def format_metrics(registry, title: str = "Instrumentation report") -> str:
+    """Render a :class:`~repro.sim.metrics.MetricsRegistry` as text.
+
+    One table per instrument kind (counters, gauges, histograms),
+    omitting kinds with no instruments.
+    """
+    from repro.sim.metrics import Counter, Gauge, Histogram, format_labels
+
+    blocks = [f"== {title} =="]
+    counters = registry.collect(Counter)
+    if counters:
+        rows = [(c.name, format_labels(c.labels), c.value) for c in counters]
+        blocks.append(format_table(["counter", "labels", "value"], rows))
+    gauges = registry.collect(Gauge)
+    if gauges:
+        rows = [(g.name, format_labels(g.labels), g.value, g.high_water)
+                for g in gauges]
+        blocks.append(format_table(["gauge", "labels", "value", "high-water"],
+                                   rows))
+    histograms = registry.collect(Histogram)
+    if histograms:
+        rows = [(h.name, format_labels(h.labels), h.count, h.mean, h.min,
+                 h.percentile(50), h.percentile(99), h.max)
+                for h in histograms]
+        blocks.append(format_table(
+            ["histogram", "labels", "count", "mean", "min", "p50", "p99",
+             "max"], rows))
+    if len(blocks) == 1:
+        blocks.append("(no instruments recorded)")
+    return "\n\n".join(blocks)
+
+
 @dataclass(frozen=True)
 class PaperCheck:
     """One paper-vs-measured comparison row."""

@@ -74,10 +74,13 @@ def message_timeline(records: Iterable[TraceRecord], bucket_us: int = 100,
 
 
 def full_report(world: "MPIWorld") -> str:
-    """Everything the tracer and counters know, in one string."""
+    """Everything the tracer, instruments and counters know, in one string."""
     records = getattr(world.engine.tracer, "records", [])
     parts = [cpu_report(world), network_report(world)]
     if records:
         parts.append(packet_mix(records))
         parts.append(message_timeline(records))
+    instruments = world.engine.instruments
+    if instruments.enabled and len(instruments.metrics):
+        parts.append(instruments.report())
     return "\n\n".join(parts)

@@ -82,6 +82,17 @@ class Connection:
         )
         self._send_seq += 1
         self.messages_sent += 1
+        ins = self.port.process.engine.instruments
+        if ins.enabled:
+            channel = self.port.channel
+            ins.count("mad.messages", 1, channel=channel.name,
+                      protocol=channel.protocol, rank=self.port.rank)
+            ins.count("mad.bytes", wire.wire_bytes, channel=channel.name,
+                      protocol=channel.protocol, rank=self.port.rank)
+            for block in blocks:
+                ins.count("mad.blocks", 1, channel=channel.name,
+                          protocol=channel.protocol, rank=self.port.rank,
+                          mode=block.receive_mode.name)
         remote_port = self.port.channel.port(self.remote_rank)
         yield from self.port.endpoint.send_message(
             remote_port.endpoint, wire.wire_bytes, wire

@@ -97,9 +97,15 @@ class PollingThread:
     def _event_body(self) -> Generator:
         mailbox = self.source.mailbox
         cost = self.source.poll_cost
+        engine = self.runtime.engine
         while True:
             item = yield wait(mailbox)
             self.polls += 1
+            ins = engine.instruments
+            if ins.enabled:
+                ins.count("poll.wakeups", 1, source=self.source.name,
+                          mode="event")
+                ins.emit("poll.wake", thread=self.source.name, mode="event")
             if cost:
                 yield charge(cost)
             self.items_handled += 1
@@ -111,8 +117,13 @@ class PollingThread:
         period = self.source.period
         idle_period = self.source.idle_period or period
         cpu = self.runtime.cpu
+        engine = self.runtime.engine
         while True:
             self.polls += 1
+            ins = engine.instruments
+            if ins.enabled:
+                ins.count("poll.wakeups", 1, source=self.source.name,
+                          mode="periodic")
             if cost:
                 yield charge(cost)
             handled_any = False
@@ -121,12 +132,18 @@ class PollingThread:
                 got, item = mailbox._try_acquire(None)  # non-blocking: queue non-empty
                 assert got
                 self.items_handled += 1
+                if ins.enabled:
+                    ins.emit("poll.wake", thread=self.source.name,
+                             mode="periodic")
                 yield from self.handler(item)
             if not handled_any:
                 # Marcel idle-loop integration: poll tightly while nothing
                 # else wants the CPU, back off to the full period otherwise.
                 busy = len(cpu._ready) > 0
-                yield sleep(period if busy else idle_period)
+                pause = period if busy else idle_period
+                if ins.enabled:
+                    ins.count("poll.idle_ns", pause, source=self.source.name)
+                yield sleep(pause)
 
     def stop(self) -> None:
         """Kill the polling thread (session teardown)."""

@@ -205,6 +205,15 @@ class Device:
     name = "device"
     eager_threshold: int = 0
 
+    def threshold(self, dest_world: int) -> int:
+        """Eager/rendezvous switch point towards ``dest_world``.
+
+        The generic ADI stores a single integer per device
+        (:attr:`eager_threshold`); devices whose networks differ per
+        destination (ch_mad's per-network ablation) override this.
+        """
+        return self.eager_threshold
+
     def send_eager(self, dest_world: int, envelope: Envelope,
                    data: Any) -> Generator:
         raise NotImplementedError  # pragma: no cover

@@ -29,7 +29,7 @@ from repro.mpi.constants import (
 from repro.mpi.datatypes import BYTE, Datatype
 from repro.mpi.group import Group
 from repro.mpi.reduce_ops import SUM, Op
-from repro.mpi.request import RecvRequest, SendRequest
+from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.status import Status
 from repro.sim.coroutines import charge
 
@@ -234,6 +234,56 @@ class Communicator:
         array, count, datatype = self._resolve_buffer(buf)
         data, status = yield from self.recv(source, tag,
                                             size=count * datatype.size)
+        yield from self._fill_buffer(array, count, datatype, data)
+        return status
+
+    def Isend(self, buf, dest: int, tag: int = 0) -> SendRequest:
+        """Non-blocking buffer send (mpi4py's MPI_Isend shape).
+
+        The buffer is packed at call time, so the caller may reuse it
+        immediately; a non-contiguous datatype's gather copy is charged
+        by the transfer's temporary thread, not the caller.
+        """
+        self._check_live()
+        array, count, datatype = self._resolve_buffer(buf)
+        pre_charge = 0
+        if datatype.is_contiguous:
+            packed = array.reshape(-1)[:count * _elems(datatype)]
+        else:
+            pre_charge = self.env.progress.memory.copy_cost(
+                count * datatype.size)
+            packed = datatype.pack(array, count)
+        return _p2p.isend_impl(self, packed, dest, tag,
+                               count * datatype.size, self.context_id,
+                               pre_charge=pre_charge)
+
+    def Irecv(self, buf, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> "_BufferRecvRequest":
+        """Non-blocking buffer receive.
+
+        Returns a request whose ``wait()`` scatters the payload into
+        ``buf`` and evaluates to the :class:`Status`.
+        """
+        self._check_live()
+        array, count, datatype = self._resolve_buffer(buf)
+        inner = _p2p.irecv_impl(self, source, tag, count * datatype.size,
+                                self.context_id)
+        return _BufferRecvRequest(inner, self, array, count, datatype)
+
+    def Sendrecv(self, sendbuf, dest: int, sendtag: int = 0,
+                 recvbuf=None, source: int = ANY_SOURCE,
+                 recvtag: int = ANY_TAG) -> Generator:
+        """Combined buffer send+receive (deadlock-free); evaluates to the
+        receive's :class:`Status`."""
+        self._check_live()
+        send_request = self.Isend(sendbuf, dest, sendtag)
+        status = yield from self.Recv(recvbuf, source, recvtag)
+        yield from send_request.wait()
+        return status
+
+    def _fill_buffer(self, array: np.ndarray, count: int,
+                     datatype: Datatype, data: Any) -> Generator:
+        """Scatter received ``data`` into ``array`` per ``datatype``."""
         incoming = np.asarray(data)
         if datatype.is_contiguous:
             flat = array.reshape(-1)
@@ -241,7 +291,6 @@ class Communicator:
         else:
             yield from self._charge_pack(count * datatype.size)
             datatype.unpack(incoming, array, count)
-        return status
 
     def _charge_pack(self, nbytes: int) -> Generator:
         yield charge(self.env.progress.memory.copy_cost(nbytes))
@@ -416,6 +465,35 @@ class Communicator:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Communicator ctx={self.context_id} rank={self.rank}/"
                 f"{self.size}>")
+
+
+class _BufferRecvRequest(Request):
+    """Handle for an uppercase ``Irecv``: completion fills the buffer.
+
+    ``wait()`` evaluates to the :class:`Status`; the payload lands in
+    the user's array (scattered through the datatype when the layout is
+    non-contiguous).  ``test()`` reports completion but, like mpi4py,
+    yields its result only through ``wait()``.
+    """
+
+    def __init__(self, inner: RecvRequest, comm: Communicator,
+                 array: np.ndarray, count: int, datatype: Datatype):
+        super().__init__(inner._flag)
+        self.inner = inner
+        self.comm = comm
+        self._array = array
+        self._count = count
+        self._datatype = datatype
+
+    def wait(self) -> Generator:
+        data, status = yield from _p2p.recv_wait(self.comm, self.inner)
+        yield from self.comm._fill_buffer(self._array, self._count,
+                                          self._datatype, data)
+        return status
+
+    def cancel(self) -> bool:
+        """Withdraw the underlying receive (MPI_Cancel)."""
+        return self.inner.cancel()
 
 
 def _elems(datatype: Datatype) -> int:

@@ -137,7 +137,7 @@ class ChMadDevice(Device):
             )
         return port
 
-    def threshold_for(self, dest_world: int) -> int:
+    def threshold(self, dest_world: int) -> int:
         """Effective eager/rendezvous switch point towards ``dest_world``."""
         if not self.per_network_thresholds:
             return self.eager_threshold
@@ -173,11 +173,17 @@ class ChMadDevice(Device):
             yield from self.send_wrapped(dest_world, wrapper)
             return
         tuning = self.tuning[base_protocol(port.channel.protocol)]
-        self.progress.runtime.engine.tracer.emit(
+        engine = self.progress.runtime.engine
+        engine.tracer.emit(
             "chmad.send", src=self.world_rank, dst=dest_world,
             pkt=header.pkt_type.name, protocol=port.channel.protocol,
             body=body_size,
         )
+        ins = engine.instruments
+        if ins.enabled:
+            ins.count("chmad.packets", 1, pkt=header.pkt_type.name,
+                      protocol=port.channel.protocol, rank=self.world_rank,
+                      dir="send")
         yield charge(tuning.send_handling)
         message = port.begin_packing(dest_world)
         yield from message.pack(header, CH_MAD_HEADER_BYTES,

@@ -78,6 +78,11 @@ class ChannelPoller:
             incoming.next_block_size(), SEND_CHEAPER, RECEIVE_EXPRESS
         )
         yield charge(self.tuning.recv_handling)
+        ins = device.progress.runtime.engine.instruments
+        if ins.enabled and isinstance(header, ChMadHeader):
+            ins.count("chmad.packets", 1, pkt=header.pkt_type.name,
+                      protocol=self.port.channel.protocol,
+                      rank=device.world_rank, dir="recv")
         if isinstance(header, ForwardWrapper):
             body = None
             if header.body_size > 0:

@@ -48,14 +48,6 @@ def _check_tag(tag: int, *, wildcard: bool) -> None:
         raise MPITagError(f"tag {tag} outside [0, {TAG_UB}]")
 
 
-def _threshold(device, dest_world: int) -> int:
-    """Device threshold, honouring ch_mad's per-destination override."""
-    threshold_for = getattr(device, "threshold_for", None)
-    if threshold_for is not None:
-        return threshold_for(dest_world)
-    return device.eager_threshold
-
-
 class SendGate:
     """FIFO ticket gate enforcing MPI's non-overtaking send order.
 
@@ -71,6 +63,11 @@ class SendGate:
         self._next = 0
         self.current = 0
         self._flags: dict[int, Flag] = {}
+
+    @property
+    def depth(self) -> int:
+        """Sends holding a ticket that have not released it yet."""
+        return self._next - self.current
 
     def ticket(self) -> int:
         ticket = self._next
@@ -127,14 +124,24 @@ def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
     if synchronous:
         mode = TransferMode.RENDEZVOUS
     else:
-        mode = select_mode(nbytes, _threshold(device, dest_world))
-    env.process.engine.tracer.emit(
+        mode = select_mode(nbytes, device.threshold(dest_world))
+    engine = env.process.engine
+    engine.tracer.emit(
         "adi.send", src=env.rank, dst=dest_world, tag=tag, size=nbytes,
         device=device.name, mode=mode.value,
     )
+    ins = engine.instruments
+    if ins.enabled:
+        ins.count("adi.mode", 1, mode=mode.value, device=device.name,
+                  rank=env.rank)
+        ins.observe("adi.msg_bytes", nbytes, mode=mode.value, rank=env.rank)
     gate = send_gate(comm, dest_world, context_id)
     if ticket is None:
         ticket = gate.ticket()
+    if ins.enabled:
+        # Depth is sampled at ticket time — its natural peak.
+        ins.set_gauge("sendgate.depth", gate.depth, rank=env.rank,
+                      dest=dest_world)
     yield from gate.enter(ticket)
     release = gate.releaser()
     try:
@@ -162,11 +169,16 @@ def send_gate(comm: "Communicator", dest_world: int,
 
 def isend_impl(comm: "Communicator", data: Any, dest: int, tag: int,
                size: int | None, context_id: int,
-               synchronous: bool = False) -> SendRequest:
+               synchronous: bool = False,
+               pre_charge: int = 0) -> SendRequest:
     """Non-blocking send: spawn a temporary Marcel thread (§4.2.3).
 
     The payload is captured *now* (mpi4py's lowercase isend serializes at
     call time), so callers may reuse their buffer immediately.
+
+    ``pre_charge`` is a CPU cost the temporary thread pays before the
+    transfer — the uppercase Isend path uses it to charge a
+    non-contiguous datatype's gather copy without blocking the caller.
     """
     done = Flag(name="isend")
     payload = clone_payload(data)
@@ -176,9 +188,16 @@ def isend_impl(comm: "Communicator", data: Any, dest: int, tag: int,
     ticket = None
     if dest != PROC_NULL and 0 <= dest < comm._peer_size:
         dest_world = comm._dest_world(dest)
-        ticket = send_gate(comm, dest_world, context_id).ticket()
+        gate = send_gate(comm, dest_world, context_id)
+        ticket = gate.ticket()
+        ins = comm.env.process.engine.instruments
+        if ins.enabled:
+            ins.set_gauge("sendgate.depth", gate.depth, rank=comm.env.rank,
+                          dest=dest_world)
 
     def body():
+        if pre_charge:
+            yield charge(pre_charge)
         yield from send_impl(comm, payload, dest, tag, size, context_id,
                              synchronous=synchronous, ticket=ticket)
         done.set()

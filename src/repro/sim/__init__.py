@@ -30,15 +30,29 @@ from repro.sim.coroutines import (
 )
 from repro.sim.cpu import CPU, Task, TaskState
 from repro.sim.engine import Engine, Event
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTS,
+)
 from repro.sim.sync import Condition, Flag, Mailbox, Mutex, Semaphore
 
 __all__ = [
     "CPU",
     "Charge",
     "Condition",
+    "Counter",
     "Engine",
     "Event",
     "Flag",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTS",
     "GetTime",
     "Mailbox",
     "Mutex",

@@ -13,6 +13,8 @@ import heapq
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.sim.metrics import NULL_INSTRUMENTS, Instrumentation
+from repro.sim.trace import NULL_TRACER, Tracer
 
 
 class Event:
@@ -54,14 +56,28 @@ class Engine:
         #: Number of events executed so far (diagnostic).
         self.events_executed: int = 0
         #: Structured tracing hook (off by default; see repro.sim.trace).
-        from repro.sim.trace import NULL_TRACER
         self.tracer = NULL_TRACER
+        #: Metrics + tracing facade (off by default; see repro.sim.metrics).
+        self.instruments = NULL_INSTRUMENTS
 
-    def enable_tracing(self):
-        """Install and return a live :class:`~repro.sim.trace.Tracer`."""
-        from repro.sim.trace import Tracer
-        self.tracer = Tracer(self, enabled=True)
-        return self.tracer
+    def enable_instrumentation(self) -> Instrumentation:
+        """Install and return a live metrics/tracing facade.
+
+        The facade's tracer also becomes :attr:`tracer`, so one call
+        turns on both the typed instruments and the record stream.
+        """
+        instruments = Instrumentation(self)
+        self.instruments = instruments
+        self.tracer = instruments.tracer
+        return instruments
+
+    def enable_tracing(self) -> Tracer:
+        """Install full instrumentation; return its live Tracer.
+
+        Kept for the record-stream-only API; equivalent to
+        ``enable_instrumentation().tracer``.
+        """
+        return self.enable_instrumentation().tracer
 
     # -- clock ------------------------------------------------------------
 

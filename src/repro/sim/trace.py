@@ -9,9 +9,10 @@ per-event cost when disabled, so benchmarks are unaffected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
-from repro.sim.engine import Engine
+if TYPE_CHECKING:  # pragma: no cover - annotation only, no runtime cycle
+    from repro.sim.engine import Engine
 
 
 @dataclass(frozen=True)

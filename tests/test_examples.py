@@ -47,6 +47,17 @@ def test_master_worker(capsys):
     assert "verified against the serial reference" in out
 
 
+def test_observability_demo(capsys, tmp_path):
+    out_file = tmp_path / "trace.json"
+    run_example("observability_demo.py", ["--out", str(out_file)])
+    out = capsys.readouterr().out
+    assert "Metrics: multi-protocol TCP+SCI run" in out
+    assert "chmad.packets" in out
+    assert "MAD_SHORT_PKT" in out
+    assert "Chrome trace:" in out
+    assert out_file.exists()
+
+
 def test_pingpong_cli(capsys):
     run_example("pingpong.py", ["--network", "sisci", "--sizes", "4", "1024",
                                 "--reps", "3"])

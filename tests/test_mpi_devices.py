@@ -206,7 +206,7 @@ class TestChMadChannelSelection:
                                per_network_thresholds=True)
 
         def program(mpi):
-            return mpi.inter_device.threshold_for(1 - mpi.rank)
+            return mpi.inter_device.threshold(1 - mpi.rank)
             yield  # pragma: no cover
 
         # Traffic rides SCI (preferred), so its own 8 KB applies; but the

@@ -366,3 +366,55 @@ class TestBufferAPI:
             return [out[0], out[5], out[10], out[15], out[1]]
 
         assert run_ranks(program)[1] == [0.0, 5.0, 10.0, 15.0, 0.0]
+
+    def test_isend_irecv_numpy(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 0:
+                data = np.arange(64, dtype=np.float64)
+                request = comm.Isend(data, dest=1, tag=5)
+                data[:] = -1  # buffer reusable immediately (packed at call)
+                yield from request.wait()
+                return None
+            buf = np.empty(64, dtype=np.float64)
+            request = comm.Irecv(buf, source=0, tag=5)
+            status = yield from request.wait()
+            assert request.completed
+            return (float(buf.sum()), status.count, status.source)
+
+        total, count, source = run_ranks(program)[1]
+        assert total == float(np.arange(64).sum())
+        assert count == 64 * 8
+        assert source == 0
+
+    def test_isend_strided_datatype(self):
+        from repro.mpi.datatypes import DOUBLE, vector
+
+        def program(mpi):
+            comm = mpi.comm_world
+            column = vector(count=4, blocklength=1, stride=5,
+                            base=DOUBLE).commit()
+            if comm.rank == 0:
+                matrix = np.arange(20, dtype=np.float64)
+                request = comm.Isend((matrix, 1, column), dest=1)
+                yield from request.wait()
+                return None
+            out = np.zeros(20, dtype=np.float64)
+            request = comm.Irecv((out, 1, column), source=0)
+            yield from request.wait()
+            return [out[0], out[5], out[10], out[15]]
+
+        assert run_ranks(program)[1] == [0.0, 5.0, 10.0, 15.0]
+
+    def test_sendrecv_buffer_exchange(self):
+        def program(mpi):
+            comm = mpi.comm_world
+            mine = np.full(16, comm.rank, dtype=np.int64)
+            theirs = np.empty(16, dtype=np.int64)
+            status = yield from comm.Sendrecv(
+                mine, dest=1 - comm.rank, sendtag=2,
+                recvbuf=theirs, source=1 - comm.rank, recvtag=2)
+            assert status.source == 1 - comm.rank
+            return int(theirs.sum())
+
+        assert run_ranks(program) == [16, 0]
