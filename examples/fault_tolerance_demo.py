@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Surviving a network death on the paper's cluster-of-clusters.
+
+The motivating topology of the paper (§1) is an SCI cluster and a
+Myrinet cluster joined by plain Ethernet — several networks in one MPI
+session.  On perfect fabrics that is purely a performance story; this
+demo shows it is a *redundancy* story too:
+
+1. run a halo-exchange + reduction job on the meta-cluster, fault-free;
+2. run the identical job with a fault plan that kills the whole SCI
+   fabric mid-run: the reliable Madeleine transport retransmits the
+   lost messages, the channel health monitor declares the SCI channel
+   dead, and ch_mad fails the SCI island's traffic over to TCP
+   (re-electing its eager/rendezvous switch point along the way);
+3. verify the MPI-level results are byte-identical.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+from repro.bench.report import format_table
+from repro.cluster import MPIWorld, cluster_of_clusters
+from repro.faults import FaultPlan, fabric_death
+from repro.units import us
+
+#: Virtual time at which the SCI fabric dies (mid-run: the job below
+#: runs for a few tens of milliseconds).
+SCI_DEATH_NS = us(400)
+
+
+def make_world(fault_plan=None):
+    config = cluster_of_clusters(sci_nodes=2, myrinet_nodes=2)
+    config.fault_plan = fault_plan
+    config.reliable = True  # same transport in both runs: comparable paths
+    return MPIWorld(config)
+
+
+def program(mpi):
+    """A small iterative job: ring halo exchange + global reduction."""
+    comm = mpi.comm_world
+    rank, size = comm.rank, comm.size
+    value = float(rank + 1)
+    history = []
+    for step in range(12):
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        data, _status = yield from comm.sendrecv(
+            ("halo", rank, step, value), dest=right, sendtag=step,
+            source=left, recvtag=step, size=9000,
+        )
+        value = 0.5 * value + 0.5 * data[3]
+        total = yield from comm.allreduce(value)
+        history.append(round(total, 9))
+    return history
+
+
+def main():
+    clean_world = make_world()
+    clean = clean_world.run(program)
+
+    plan = FaultPlan(fabrics={"sisci": fabric_death(SCI_DEATH_NS)}, seed=1)
+    faulty_world = make_world(plan)
+    ins = faulty_world.engine.enable_instrumentation()
+    faulty = faulty_world.run(program)
+
+    assert faulty == clean, "failover changed MPI-level results!"
+
+    retransmits = ins.metrics.total("transport.retransmits")
+    failovers = ins.metrics.total("failover.channels")
+    rerouted = ins.metrics.total("transport.rerouted")
+    assert retransmits > 0, "the fabric death never cost a retransmission?"
+    assert failovers == 1, f"expected exactly one channel death, got {failovers}"
+
+    sci_devices = [env.inter_device for env in faulty_world.envs
+                   if "sisci" in env.inter_device.ports]
+    assert all(d.ports["sisci"].channel.dead for d in sci_devices)
+
+    print("cluster of clusters: 2 SCI nodes + 2 Myrinet nodes, "
+          "Ethernet everywhere")
+    print(f"fault plan: the whole SCI fabric dies at t={SCI_DEATH_NS} ns\n")
+    rows = [
+        ("dropped by the dead fabric", ins.metrics.total("faults.dropped")),
+        ("transport retransmissions", retransmits),
+        ("channel failover events", failovers),
+        ("messages tunnelled to TCP", rerouted),
+        ("SCI island eager threshold now",
+         f"{sci_devices[0].eager_threshold} B (was 8192 B)"),
+    ]
+    print(format_table(["event", "count"], rows, title="what the fault cost"))
+    print(f"\nclean run finished at   {clean_world.engine.now / 1e6:8.3f} ms")
+    print(f"faulty run finished at  {faulty_world.engine.now / 1e6:8.3f} ms")
+    print("\nMPI-level results are byte-identical with and without the "
+          "fabric death:\nthe SCI island's traffic completed over TCP. "
+          "Multi-protocol MPI turns the\nslow network into a hot spare.")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.networks.params import MemoryParams, ProtocolParams
 
 
@@ -64,10 +65,20 @@ class ClusterConfig:
     memory: MemoryParams | None = None
     #: Marcel context-switch cost (ns).
     switch_cost: int = 150
+    #: Fault injection plan for the fabrics (implies ``reliable``).
+    fault_plan: FaultPlan | None = None
+    #: Run the Madeleine reliable transport even on perfect fabrics.
+    reliable: bool = False
 
     def __post_init__(self) -> None:
         if self.device not in ("ch_mad", "ch_p4"):
             raise ConfigurationError(f"unknown device {self.device!r}")
+        if (self.fault_plan is not None or self.reliable) \
+                and self.device != "ch_mad":
+            raise ConfigurationError(
+                "fault injection / reliable transport live in the Madeleine "
+                "stack; they require device='ch_mad'"
+            )
         if not self.nodes:
             raise ConfigurationError("cluster needs at least one node")
         if self.device == "ch_p4":

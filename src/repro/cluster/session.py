@@ -42,7 +42,8 @@ class MPIWorld:
 
     def __init__(self, config: ClusterConfig):
         self.config = config
-        self.session = MadeleineSession()
+        self.session = MadeleineSession(fault_plan=config.fault_plan,
+                                        reliable=config.reliable)
         self.engine: Engine = self.session.engine
         self.envs: list[MPIEnv] = []
         self._build()
@@ -169,15 +170,19 @@ class MPIWorld:
         executed = 0
         while not all(task.finished for task in mains):
             if max_events is not None and executed >= max_events:
+                stuck = [t for t in mains if not t.finished]
                 raise DeadlockError(
                     f"exceeded max_events={max_events} with ranks still "
-                    "running", blocked=[t.name for t in mains if not t.finished]
+                    "running", blocked=[t.name for t in stuck],
+                    waiting={t.name: t.waiting_description() for t in stuck},
                 )
             if not self.engine.step():
-                blocked = [t.name for t in mains if not t.finished]
+                stuck = [t for t in mains if not t.finished]
                 raise DeadlockError(
-                    f"MPI job hung: event queue drained with {len(blocked)} "
-                    f"rank(s) still blocked", blocked=blocked
+                    f"MPI job hung: event queue drained with {len(stuck)} "
+                    "rank(s) still blocked",
+                    blocked=[t.name for t in stuck],
+                    waiting={t.name: t.waiting_description() for t in stuck},
                 )
             executed += 1
         self.shutdown()

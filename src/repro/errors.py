@@ -21,13 +21,23 @@ class DeadlockError(SimulationError):
 
     This is the simulator's equivalent of a hung MPI job: the event queue
     drained but at least one thread is waiting on a condition that can no
-    longer be signalled.
+    longer be signalled.  ``waiting`` maps each blocked thread to a
+    description of *what* it is blocked on (the condition/mailbox/flag
+    name) — fault bugs surface as hangs, and knowing the waitable is
+    usually enough to find the lost message.
     """
 
-    def __init__(self, message: str, blocked: list[str] | None = None):
-        super().__init__(message)
+    def __init__(self, message: str, blocked: list[str] | None = None,
+                 waiting: dict[str, str] | None = None):
         #: Names of the threads that were still blocked, for diagnostics.
         self.blocked = list(blocked or [])
+        #: thread name -> description of the waitable it blocks on.
+        self.waiting = dict(waiting or {})
+        if self.waiting:
+            detail = "; ".join(f"{name} <- {what}"
+                               for name, what in self.waiting.items())
+            message = f"{message} [{detail}]"
+        super().__init__(message)
 
 
 class NetworkError(ReproError):
@@ -48,6 +58,28 @@ class PackingError(MadeleineError):
 
 class ChannelError(MadeleineError):
     """Raised for channel misuse (unknown remote, closed channel...)."""
+
+
+class ChannelDeadError(ChannelError):
+    """Raised when communication is attempted on a failed-over channel."""
+
+
+class FaultError(ReproError):
+    """Base class of the fault-injection/reliability branch."""
+
+
+class TransportError(FaultError):
+    """A reliable connection exhausted its retransmission budget."""
+
+    def __init__(self, message: str, channel: str | None = None,
+                 remote_rank: int | None = None):
+        super().__init__(message)
+        self.channel = channel
+        self.remote_rank = remote_rank
+
+
+class FailoverExhaustedError(TransportError):
+    """No surviving channel remains to re-route failed traffic onto."""
 
 
 class MPIError(ReproError):

@@ -1,0 +1,106 @@
+"""Deterministic fault decisions, one per fabric transmission.
+
+The injector is consulted by :class:`~repro.networks.fabric.NetworkFabric`
+at delivery-scheduling time for every complete message.  Decisions are a
+pure function of ``(plan, seed, consultation order)``: randomness comes
+from one engine-owned :class:`random.Random` stream per fabric (namespaced
+``faults/<plan seed>/<fabric>``), and the engine's event ordering is
+itself deterministic, so two runs of the same configuration inject
+*identical* faults — a faulty run can be replayed bit-for-bit for
+debugging.
+
+Uncovered fabrics never touch the RNG, so adding a fault spec for one
+network does not perturb the fault schedule of another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import FabricFaults, FaultPlan
+from repro.sim.engine import Engine
+
+#: Decision verdicts.
+DELIVER = "deliver"
+DROP = "drop"
+CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The injector's verdict for one message transmission."""
+
+    verdict: str = DELIVER          # DELIVER | DROP | CORRUPT
+    extra_latency: int = 0          # ns added to the delivery time
+    reason: str = ""                # drop/corrupt cause, for metrics labels
+
+    @property
+    def dropped(self) -> bool:
+        return self.verdict == DROP
+
+    @property
+    def corrupted(self) -> bool:
+        return self.verdict == CORRUPT
+
+
+PASS = FaultDecision()
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against live transmissions."""
+
+    def __init__(self, engine: Engine, plan: FaultPlan):
+        self.engine = engine
+        self.plan = plan
+        #: Per-fabric transmission counter (for scheduled drops).
+        self._message_index: dict[str, int] = {}
+        self._rngs: dict[str, object] = {}
+
+    def _rng(self, fabric_name: str):
+        rng = self._rngs.get(fabric_name)
+        if rng is None:
+            rng = self.engine.rng(f"faults/{self.plan.seed}/{fabric_name}")
+            self._rngs[fabric_name] = rng
+        return rng
+
+    def decide(self, fabric_name: str, src_index: int, dst_index: int,
+               nbytes: int) -> FaultDecision:
+        """The fate of one message transmitted right now on ``fabric_name``."""
+        spec: FabricFaults | None = self.plan.spec_for(fabric_name)
+        if spec is None:
+            return PASS
+        index = self._message_index.get(fabric_name, 0)
+        self._message_index[fabric_name] = index + 1
+
+        now = self.engine.now
+        for down in spec.downs:
+            if down.covers(now, src_index):
+                reason = "link_down" if down.duration is not None else "link_dead"
+                return FaultDecision(DROP, reason=reason)
+        if index in spec.drop_messages:
+            return FaultDecision(DROP, reason="scheduled")
+        if not spec.randomized:
+            return PASS
+        # One fixed-order draw per probabilistic knob keeps the stream
+        # aligned across runs even when earlier knobs fire.
+        rng = self._rng(fabric_name)
+        roll_drop = rng.random() if spec.drop_rate > 0 else 1.0
+        roll_corrupt = rng.random() if spec.corrupt_rate > 0 else 1.0
+        roll_spike = rng.random() if spec.latency_spike_rate > 0 else 1.0
+        if roll_drop < spec.drop_rate:
+            return FaultDecision(DROP, reason="random")
+        if roll_corrupt < spec.corrupt_rate:
+            return FaultDecision(CORRUPT, reason="random")
+        if roll_spike < spec.latency_spike_rate:
+            return FaultDecision(DELIVER, extra_latency=spec.latency_spike_ns,
+                                 reason="latency_spike")
+        return PASS
+
+    def fabric_dead(self, fabric_name: str) -> bool:
+        """Is the fabric permanently down right now (scheduled death passed)?"""
+        spec = self.plan.spec_for(fabric_name)
+        if spec is None:
+            return False
+        now = self.engine.now
+        return any(d.duration is None and not d.adapters and now >= d.at
+                   for d in spec.downs)

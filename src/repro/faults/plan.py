@@ -1,0 +1,119 @@
+"""Declarative fault plans: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultPlan` is pure data — it describes the misbehaviour of the
+simulated fabrics without touching any simulation state, so a plan can be
+attached to cluster configs, serialized into experiment manifests, and
+reused across seeds.  The :class:`~repro.faults.injector.FaultInjector`
+turns a ``(plan, seed)`` pair into deterministic per-transmission
+decisions.
+
+Fault model (per fabric):
+
+- **drop** — the message vanishes after serialization (the wire time was
+  spent, nothing is delivered); probabilistic via ``drop_rate`` or
+  scheduled via ``drop_messages`` (per-fabric transmission indices).
+- **corrupt** — the message is delivered but its payload is poisoned;
+  the reliable transport's simulated checksum detects it on receive and
+  treats it as a loss (no ack, no delivery to the application).
+- **latency spike** — the delivery is late by ``latency_spike_ns``.
+- **link down** — a :class:`LinkDown` window during which every
+  transmission on the fabric (or on the listed adapters) is blackholed.
+  ``duration=None`` is the permanent case: NIC death / fabric death at a
+  scheduled simulation time, the trigger for whole-channel failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """One outage window on a fabric.
+
+    ``adapters`` restricts the outage to transmissions *from* the listed
+    adapter indices (a NIC flap); empty means the whole fabric is down
+    (switch failure).  ``duration=None`` means the outage is permanent.
+    """
+
+    at: int                              # ns, start of the outage
+    duration: int | None = None          # ns; None = permanent death
+    adapters: tuple[int, ...] = ()       # source adapter indices; () = all
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError("LinkDown.at must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultError("LinkDown.duration must be positive (or None)")
+
+    def covers(self, now: int, adapter_index: int) -> bool:
+        """Is a transmission from ``adapter_index`` at ``now`` blackholed?"""
+        if now < self.at:
+            return False
+        if self.duration is not None and now >= self.at + self.duration:
+            return False
+        return not self.adapters or adapter_index in self.adapters
+
+
+@dataclass(frozen=True)
+class FabricFaults:
+    """Fault behaviour of one fabric (probabilities are per message)."""
+
+    drop_rate: float = 0.0               # P(message dropped)
+    corrupt_rate: float = 0.0            # P(payload poisoned)
+    latency_spike_rate: float = 0.0      # P(delivery delayed)
+    latency_spike_ns: int = 0            # extra delivery latency when spiked
+    drop_messages: tuple[int, ...] = ()  # scheduled drops by message index
+    downs: tuple[LinkDown, ...] = ()     # outage windows / permanent death
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "latency_spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be within [0, 1], got {rate}")
+        if self.latency_spike_rate > 0 and self.latency_spike_ns <= 0:
+            raise FaultError("latency_spike_ns must be positive when "
+                             "latency_spike_rate > 0")
+
+    @property
+    def randomized(self) -> bool:
+        """Does this spec ever consult the RNG?"""
+        return (self.drop_rate > 0 or self.corrupt_rate > 0
+                or self.latency_spike_rate > 0)
+
+
+def fabric_death(at: int) -> FabricFaults:
+    """Shorthand: the whole fabric dies permanently at ``at`` ns."""
+    return FabricFaults(downs=(LinkDown(at=at),))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fault specs per fabric name, plus the seed for random decisions.
+
+    Fabric keys match :attr:`NetworkFabric.name` exactly, falling back to
+    the base protocol (``"bip#1"`` uses the ``"bip"`` entry unless a
+    ``"bip#1"`` entry exists) so one line can make every rail of a
+    protocol lossy.
+    """
+
+    fabrics: dict[str, FabricFaults] = field(default_factory=dict)
+    seed: int = 0
+
+    def spec_for(self, fabric_name: str) -> FabricFaults | None:
+        spec = self.fabrics.get(fabric_name)
+        if spec is not None:
+            return spec
+        from repro.networks import base_protocol
+        return self.fabrics.get(base_protocol(fabric_name))
+
+
+def lossy_plan(rate: float, fabrics: tuple[str, ...] = ("tcp", "sisci", "bip"),
+               seed: int = 0) -> FaultPlan:
+    """Shorthand: uniform probabilistic loss on the named fabrics."""
+    return FaultPlan(
+        fabrics={name: FabricFaults(drop_rate=rate) for name in fabrics},
+        seed=seed,
+    )

@@ -31,6 +31,12 @@ from repro.madeleine.constants import (
 )
 from repro.madeleine.channel import Channel, ChannelPort, Connection
 from repro.madeleine.message import IncomingMessage, OutgoingMessage, PackedBlock
+from repro.madeleine.reliable import (
+    ChannelHealthMonitor,
+    DeadChannelNotice,
+    MadAck,
+    ReliableTransport,
+)
 from repro.madeleine.session import MadProcess, MadeleineSession
 from repro.madeleine.interface import (
     mad_begin_packing,
@@ -43,9 +49,13 @@ from repro.madeleine.interface import (
 
 __all__ = [
     "Channel",
+    "ChannelHealthMonitor",
     "ChannelPort",
     "Connection",
+    "DeadChannelNotice",
     "IncomingMessage",
+    "MadAck",
+    "ReliableTransport",
     "MadProcess",
     "MadeleineSession",
     "OutgoingMessage",

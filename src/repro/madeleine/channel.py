@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Generator
 from repro.errors import ChannelError
 from repro.marcel.polling import PollSource
 from repro.madeleine.message import IncomingMessage, MadWireMessage, OutgoingMessage, PackedBlock
+from repro.madeleine.reliable import DeadChannelNotice, PendingSend
 from repro.networks.fabric import Delivery
 from repro.networks.nic import ProtocolEndpoint
 from repro.networks.params import ProtocolParams
@@ -40,6 +41,14 @@ class Channel:
         self.name = name
         self.protocol = protocol
         self.ports: dict[int, "ChannelPort"] = {}
+        #: Set (once, globally — the Channel object is shared by every
+        #: process) by the ChannelHealthMonitor when the channel fails.
+        self.dead = False
+        self._death_listeners: list = []
+
+    def add_death_listener(self, callback) -> None:
+        """Register ``callback(channel)`` to run when the channel dies."""
+        self._death_listeners.append(callback)
 
     def port(self, rank: int) -> "ChannelPort":
         try:
@@ -69,6 +78,9 @@ class Connection:
         self.port = port
         self.remote_rank = remote_rank
         self._send_seq = 0
+        #: Unacknowledged in-flight messages, keyed by sequence number
+        #: (reliable transport only; stays empty on perfect networks).
+        self.unacked: dict[int, PendingSend] = {}
         #: Diagnostics.
         self.messages_sent = 0
 
@@ -93,6 +105,10 @@ class Connection:
                 ins.count("mad.blocks", 1, channel=channel.name,
                           protocol=channel.protocol, rank=self.port.rank,
                           mode=block.receive_mode.name)
+        transport = self.port.transport
+        if transport is not None:
+            yield from transport.reliable_send(self, wire)
+            return
         remote_port = self.port.channel.port(self.remote_rank)
         yield from self.port.endpoint.send_message(
             remote_port.endpoint, wire.wire_bytes, wire
@@ -113,6 +129,12 @@ class ChannelPort:
             name=f"chan[{channel.name}]@{process.rank}.incoming"
         )
         self._connections: dict[int, Connection] = {}
+        #: Reliable-transport state (None on perfect networks): the
+        #: process's ReliableTransport, next expected sequence per source,
+        #: and the out-of-order hold buffer per source.
+        self.transport = process.transport
+        self._recv_next: dict[int, int] = {}
+        self._recv_buffer: dict[int, dict] = {}
         process._register_port(self)
 
     # -- sending ------------------------------------------------------------
@@ -148,6 +170,12 @@ class ChannelPort:
         connection is discovered from the result).
         """
         delivery = yield wait(self.incoming)
+        while isinstance(delivery, DeadChannelNotice):
+            # The channel died, but in-flight traffic is tunnelled to this
+            # very port — keep waiting.  If nothing can ever arrive the
+            # failed retransmissions abort the run (FailoverExhaustedError)
+            # before this wait could hang silently.
+            delivery = yield wait(self.incoming)
         # Raw-Madeleine usage: the application thread itself performs the
         # detection (a select() on TCP, a flag check on SCI/BIP), so the
         # per-poll cost is charged here.  Under ch_mad the polling thread

@@ -13,6 +13,11 @@ from typing import Iterable, Sequence
 
 from repro.errors import ChannelError, ConfigurationError
 from repro.madeleine.channel import Channel, ChannelPort
+from repro.madeleine.reliable import (
+    ChannelHealthMonitor,
+    MadAck,
+    ReliableTransport,
+)
 from repro.marcel.thread import MarcelRuntime
 from repro.networks import ENDPOINT_CLASSES, PROTOCOL_PARAMS, base_protocol
 from repro.networks.fabric import Delivery, NetworkFabric
@@ -33,8 +38,17 @@ class MadProcess:
         self.memory = memory or MemoryModel()
         self.runtime = MarcelRuntime(engine, name=self.name,
                                      switch_cost=switch_cost)
+        #: Reliability engine; installed by the session *before* channels
+        #: are opened (ChannelPorts snapshot it).  None = trusted networks.
+        self.transport: ReliableTransport | None = None
         self._endpoints: dict[str, ProtocolEndpoint] = {}
         self._ports_by_channel: dict[int, ChannelPort] = {}
+        #: Multirail striping stream state (see repro.madeleine.striping):
+        #: per-destination transfer counter, per-source expected transfer,
+        #: and the hold-back stash for stripes that overtook their turn.
+        self._stripe_tx_seq: dict[int, int] = {}
+        self._stripe_rx_seq: dict[int, int] = {}
+        self._stripe_stash: dict[tuple[int, int], list] = {}
 
     # -- networks ------------------------------------------------------------
 
@@ -81,6 +95,13 @@ class MadProcess:
                 f"{self.name} received a message for unknown channel id "
                 f"{channel_id!r}"
             )
+        if self.transport is not None:
+            if isinstance(wire, MadAck):
+                if not delivery.corrupted:  # a corrupted ack is a lost ack
+                    self.transport.handle_ack(port, wire)
+                return
+            self.transport.receive(port, delivery)
+            return
         port.incoming.post(delivery)
 
     def port(self, channel: Channel) -> ChannelPort:
@@ -98,8 +119,21 @@ class MadProcess:
 class MadeleineSession:
     """A running Madeleine instance across several simulated processes."""
 
-    def __init__(self, engine: Engine | None = None):
+    def __init__(self, engine: Engine | None = None, fault_plan=None,
+                 reliable: bool = False):
         self.engine = engine or Engine()
+        #: A FaultPlan makes the fabrics misbehave; faults without
+        #: reliability would silently lose application data, so a plan
+        #: forces the reliable transport on.
+        self.fault_plan = fault_plan
+        self.reliable = reliable or fault_plan is not None
+        self.health: ChannelHealthMonitor | None = (
+            ChannelHealthMonitor(self.engine) if self.reliable else None
+        )
+        self._injector = None
+        if fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            self._injector = FaultInjector(self.engine, fault_plan)
         self.fabrics: dict[str, NetworkFabric] = {}
         self.processes: list[MadProcess] = []
         self.channels: dict[str, Channel] = {}
@@ -125,6 +159,7 @@ class MadeleineSession:
                     "pass ProtocolParams explicitly"
                 ) from None
         fabric = NetworkFabric(self.engine, params, name=protocol)
+        fabric.injector = self._injector
         self.fabrics[protocol] = fabric
         return fabric
 
@@ -135,6 +170,8 @@ class MadeleineSession:
         """Create a process and attach it to the named networks."""
         process = MadProcess(self.engine, rank=len(self.processes), name=name,
                              memory=memory, switch_cost=switch_cost)
+        if self.reliable:
+            process.transport = ReliableTransport(process, self.health)
         self.processes.append(process)
         for protocol in networks:
             if protocol not in self.fabrics:

@@ -23,7 +23,12 @@ from typing import Any, Generator
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, MPIError, RouteError
+from repro.errors import (
+    ConfigurationError,
+    FailoverExhaustedError,
+    MPIError,
+    RouteError,
+)
 from repro.networks import base_protocol
 from repro.madeleine.channel import ChannelPort
 from repro.madeleine.constants import RECEIVE_CHEAPER, RECEIVE_EXPRESS, SEND_CHEAPER
@@ -103,12 +108,41 @@ class ChMadDevice(Device):
     def start(self) -> None:
         """Spawn one polling thread per channel (§4.2.3)."""
         for protocol in sorted(self.ports):
-            self._pollers.append(ChannelPoller(self, self.ports[protocol]))
+            port = self.ports[protocol]
+            self._pollers.append(ChannelPoller(self, port))
+            port.channel.add_death_listener(self._on_channel_death)
+
+    def _on_channel_death(self, channel) -> None:
+        """A channel died: future traffic re-routes, threshold re-elects.
+
+        New sends naturally avoid the dead channel (``direct_port`` skips
+        it); already-queued wire traffic is tunnelled by the reliable
+        transport.  The ADI's single threshold field must be re-elected
+        from the survivors — losing SCI, for example, drops the elected
+        8 KB back to the survivors' own switch point (§4.2.2).
+        """
+        live = [name for name, port in self.ports.items()
+                if not port.channel.dead]
+        if not live:
+            return  # nothing to elect from; sends will fail over loudly
+        old = self.eager_threshold
+        self.eager_threshold = elect_threshold(live, self.switch_points)
+        engine = self.progress.runtime.engine
+        engine.tracer.emit(
+            "chmad.reelect_threshold", rank=self.world_rank,
+            dead=channel.name, old=old, new=self.eager_threshold,
+        )
 
     def shutdown(self) -> None:
         for poller in self._pollers:
             poller.stop()
         self._pollers.clear()
+        for port in self.ports.values():
+            if port.transport is not None:
+                # One transport per process: cancel trailing ack timers so
+                # they cannot fire into the torn-down session.
+                port.transport.cancel_pending()
+                break
 
     # -- channel selection ---------------------------------------------------------
 
@@ -123,6 +157,8 @@ class ChMadDevice(Device):
                 if base_protocol(name) != protocol:
                     continue
                 port = self.ports[name]
+                if port.channel.dead:
+                    continue
                 if dest_world in port.channel.ports:
                     return port
         return None
@@ -130,6 +166,13 @@ class ChMadDevice(Device):
     def select_port(self, dest_world: int) -> ChannelPort:
         port = self.direct_port(dest_world)
         if port is None:
+            if any(dest_world in p.channel.ports
+                   for p in self.ports.values() if p.channel.dead):
+                raise FailoverExhaustedError(
+                    f"rank {self.world_rank}: every channel towards rank "
+                    f"{dest_world} is dead",
+                    remote_rank=dest_world,
+                )
             raise ConfigurationError(
                 f"rank {self.world_rank} shares no network with rank "
                 f"{dest_world} (enable forwarding, or see "

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Generator
 
 from repro.errors import MPIError
 from repro.madeleine.channel import ChannelPort
+from repro.madeleine.reliable import DeadChannelNotice
 from repro.madeleine.constants import RECEIVE_CHEAPER, RECEIVE_EXPRESS, SEND_CHEAPER
 from repro.marcel.polling import PollingThread
 from repro.mpi.devices.ch_mad.forwarding import ForwardWrapper, relay
@@ -73,6 +74,10 @@ class ChannelPoller:
 
     def handle(self, delivery: Delivery) -> Generator:
         device = self.device
+        if isinstance(delivery, DeadChannelNotice):
+            # The channel died; keep polling — in-flight traffic of this
+            # channel is tunnelled to this very port by the transport.
+            return
         incoming = yield from self.port.open_delivery(delivery)
         header = yield from incoming.unpack(
             incoming.next_block_size(), SEND_CHEAPER, RECEIVE_EXPRESS

@@ -39,6 +39,11 @@ class Delivery:
     payload: Any
     sent_at: int
     delivered_at: int
+    #: Set by the fault injector: the bytes arrived but are poisoned.  The
+    #: reliable transport's simulated checksum detects this and treats the
+    #: delivery as a loss; without reliability the poison reaches the
+    #: application (exactly what an unchecksummed DMA network would do).
+    corrupted: bool = False
 
 
 class Adapter:
@@ -78,6 +83,9 @@ class NetworkFabric:
         self.params = params
         self.name = name or params.name
         self.adapters: list[Adapter] = []
+        #: Fault injector consulted on every complete-message transmission
+        #: (None = the perfect network of the paper's measurements).
+        self.injector = None
         #: Per (src, dst) adapter pair: last scheduled delivery time, used
         #: to keep deliveries FIFO even when per-message latency varies
         #: (e.g. BIP's long-message handshake).
@@ -130,14 +138,44 @@ class NetworkFabric:
                           payload: Any, arrival: int, sent_at: int) -> int:
         """Schedule a complete-message delivery, enforcing per-pair FIFO.
 
-        Returns the (possibly clamped) delivery time.
+        Returns the (possibly clamped) delivery time.  When a fault
+        injector is installed, the message may instead be dropped (wire
+        time was already spent — the bytes went out and vanished),
+        poisoned, or delayed.
         """
+        corrupted = False
+        if self.injector is not None:
+            decision = self.injector.decide(self.name, src.index, dst.index,
+                                            nbytes)
+            if decision.dropped:
+                ins = self.engine.instruments
+                if ins.enabled:
+                    ins.count("faults.dropped", 1, fabric=self.name,
+                              reason=decision.reason)
+                    ins.emit("fault.drop", fabric=self.name, src=src.index,
+                             dst=dst.index, nbytes=nbytes,
+                             reason=decision.reason)
+                return arrival
+            corrupted = decision.corrupted
+            if corrupted or decision.extra_latency:
+                ins = self.engine.instruments
+                if ins.enabled:
+                    if corrupted:
+                        ins.count("faults.corrupted", 1, fabric=self.name)
+                        ins.emit("fault.corrupt", fabric=self.name,
+                                 src=src.index, dst=dst.index, nbytes=nbytes)
+                    else:
+                        ins.count("faults.delayed", 1, fabric=self.name)
+                        ins.emit("fault.delay", fabric=self.name,
+                                 src=src.index, dst=dst.index,
+                                 extra=decision.extra_latency)
+                arrival += decision.extra_latency
         key = (src.index, dst.index)
         arrival = max(arrival, self._pair_last.get(key, 0))
         self._pair_last[key] = arrival
         delivery = Delivery(source=src, dest=dst, nbytes=nbytes,
                             payload=payload, sent_at=sent_at,
-                            delivered_at=arrival)
+                            delivered_at=arrival, corrupted=corrupted)
         self.engine.schedule_at(arrival, self._deliver, delivery)
         return arrival
 

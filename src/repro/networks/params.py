@@ -77,10 +77,32 @@ class ProtocolParams:
     long_threshold: int = 0          # bytes; 0 = no long-message mode
     long_extra_send: int = 0         # ns extra sender overhead past threshold
     long_extra_latency: int = 0      # ns extra delivery latency past threshold
+    # -- reliable transport (only charged when reliability is enabled) --------
+    ack_timeout: int = 0             # ns before first retransmit; 0 = derived
+    max_retries: int = 6             # retransmissions before TransportError
+    retry_backoff: float = 2.0       # exponential backoff factor per retry
 
     def wire_time(self, nbytes: int) -> int:
         """Serialization time for one chunk of ``nbytes`` payload."""
         return round((nbytes + self.wire_header_bytes) * self.wire_ns_per_byte)
+
+    def retransmit_timeout(self, nbytes: int = 0, attempt: int = 0) -> int:
+        """Ack timeout before retransmission ``attempt`` (exponential).
+
+        The base timeout is ``ack_timeout`` if set, otherwise derived from
+        the protocol's own cost model: a few wire round trips plus twice
+        the message's serialization time plus receive-side slack —
+        generous enough that a healthy network essentially never
+        retransmits spuriously, yet still protocol-proportionate (SCI
+        times out in microseconds, TCP in milliseconds).
+        """
+        base = self.ack_timeout or (
+            4 * self.wire_latency
+            + 2 * (self.send_overhead + self.recv_overhead)
+            + max(4 * self.poll_period, 100_000)
+        )
+        base += 2 * self.wire_time(max(nbytes, 4096))
+        return round(base * (self.retry_backoff ** attempt))
 
     def chunks(self, nbytes: int) -> list[int]:
         """Split a payload into pipeline chunks (at least one, possibly 0-byte)."""

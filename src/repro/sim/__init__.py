@@ -38,7 +38,14 @@ from repro.sim.metrics import (
     MetricsRegistry,
     NULL_INSTRUMENTS,
 )
-from repro.sim.sync import Condition, Flag, Mailbox, Mutex, Semaphore
+from repro.sim.sync import (
+    Condition,
+    Flag,
+    Mailbox,
+    MailboxSelect,
+    Mutex,
+    Semaphore,
+)
 
 __all__ = [
     "CPU",
@@ -55,6 +62,7 @@ __all__ = [
     "NULL_INSTRUMENTS",
     "GetTime",
     "Mailbox",
+    "MailboxSelect",
     "Mutex",
     "Semaphore",
     "Sleep",

@@ -68,6 +68,10 @@ class Task:
         #: Total ns of CPU this task has charged (profiling; the Fig. 9
         #: analysis reads polling threads' shares from here).
         self.cpu_time: int = 0
+        #: The waitable this task is currently blocked on (None unless
+        #: state is BLOCKED) — deadlock diagnostics read it to say *what*
+        #: a hung thread was waiting for.
+        self.waiting_on: Any = None
         self._joiners: list[tuple[Task, Any]] = []
         self._wake_value: Any = None
 
@@ -99,6 +103,15 @@ class Task:
     @property
     def finished(self) -> bool:
         return self.state in FINISHED_STATES
+
+    def waiting_description(self) -> str:
+        """Human-readable description of what this task is blocked on."""
+        if self.state is not TaskState.BLOCKED or self.waiting_on is None:
+            return self.state.value
+        waitable = self.waiting_on
+        kind = type(waitable).__name__
+        name = getattr(waitable, "name", None)
+        return f"{kind} {name!r}" if name is not None else f"{kind} {waitable!r}"
 
     def kill(self) -> None:
         """Forcefully terminate the task (used for daemon teardown)."""
@@ -160,6 +173,7 @@ class CPU:
         if task.state in (TaskState.READY, TaskState.RUNNING, TaskState.CHARGING):
             raise SimulationError(f"cannot wake {task!r}: not blocked or sleeping")
         task.state = TaskState.READY
+        task.waiting_on = None
         task._wake_value = value
         self._ready.append(task)
         self._ensure_dispatch()
@@ -254,6 +268,7 @@ class CPU:
                     value = wait_value
                     continue
                 task.state = TaskState.BLOCKED
+                task.waiting_on = syscall.waitable
                 self.current = None
                 self._ensure_dispatch()
                 return

@@ -10,6 +10,7 @@ inputs.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -48,7 +49,7 @@ class Event:
 class Engine:
     """Priority-queue event loop over integer-nanosecond virtual time."""
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self._now: int = 0
         self._seq: int = 0
         self._queue: list[Event] = []
@@ -59,6 +60,22 @@ class Engine:
         self.tracer = NULL_TRACER
         #: Metrics + tracing facade (off by default; see repro.sim.metrics).
         self.instruments = NULL_INSTRUMENTS
+        #: Root seed for every random decision made inside this simulation.
+        self.seed = int(seed)
+        self._rngs: dict[str, random.Random] = {}
+
+    def rng(self, namespace: str = "") -> random.Random:
+        """The engine-owned RNG for ``namespace``, seeded from the root seed.
+
+        All stochastic decisions (fault injection, randomized workloads)
+        must draw from an engine RNG so a run is a pure function of
+        ``(configuration, seed)``.  Namespacing keeps independent consumers
+        from perturbing each other's streams.
+        """
+        gen = self._rngs.get(namespace)
+        if gen is None:
+            gen = self._rngs[namespace] = random.Random(f"{self.seed}/{namespace}")
+        return gen
 
     def enable_instrumentation(self) -> Instrumentation:
         """Install and return a live metrics/tracing facade.

@@ -13,7 +13,7 @@ are only shared between threads of one simulated process).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Protocol
+from typing import TYPE_CHECKING, Any, Iterable, Protocol
 
 from repro.errors import SimulationError
 
@@ -172,6 +172,85 @@ class Mailbox:
     def peek(self) -> Any:
         """The oldest queued item without removing it (None if empty)."""
         return self._items[0] if self._items else None
+
+
+class _SelectEntry:
+    """A MailboxSelect's registration inside one mailbox's waiter queue.
+
+    Quacks enough like a Task for :meth:`Mailbox.post`/:func:`_pop_live`:
+    ``finished`` turns True once the select has fired (or its task died),
+    so stale registrations in the other mailboxes are skipped, and the
+    ``cpu.make_ready`` call a post performs is rerouted into the select.
+    """
+
+    __slots__ = ("select", "mailbox", "cpu")
+
+    def __init__(self, select: "MailboxSelect", mailbox: "Mailbox"):
+        self.select = select
+        self.mailbox = mailbox
+        self.cpu = _SelectWake(select, mailbox)
+
+    @property
+    def finished(self) -> bool:
+        return self.select._fired or self.select._task.finished
+
+
+class _SelectWake:
+    """The ``cpu`` shim of a :class:`_SelectEntry`."""
+
+    __slots__ = ("select", "mailbox")
+
+    def __init__(self, select: "MailboxSelect", mailbox: "Mailbox"):
+        self.select = select
+        self.mailbox = mailbox
+
+    def make_ready(self, entry: "_SelectEntry", item: Any) -> None:
+        self.select._fire(self.mailbox, item)
+
+
+class MailboxSelect:
+    """Waitable over several mailboxes: first posted item anywhere wins.
+
+    ``yield wait(MailboxSelect(boxes))`` evaluates to ``(mailbox, item)``
+    for the first item available on any of the mailboxes (drained in
+    mailbox order when several already hold items — deterministic).  One
+    instance is single-shot: build a fresh one per wait.
+
+    This is the select() the multirail reassembly path needs: stripes of
+    one logical transfer may arrive on *any* surviving rail once a rail
+    has died, so the receiver cannot afford to commit to one mailbox.
+    """
+
+    def __init__(self, mailboxes: Iterable["Mailbox"], name: str | None = None):
+        self.mailboxes = list(mailboxes)
+        if not self.mailboxes:
+            raise SimulationError("MailboxSelect needs at least one mailbox")
+        self.name = name or "select"
+        self._task: "Task | None" = None
+        self._fired = False
+
+    def _try_acquire(self, task: "Task") -> tuple[bool, Any]:
+        if self._fired:
+            raise SimulationError("MailboxSelect instances are single-shot")
+        for mailbox in self.mailboxes:
+            if mailbox._items:
+                self._fired = True
+                return True, (mailbox, mailbox._items.popleft())
+        self._task = task
+        for mailbox in self.mailboxes:
+            mailbox._waiters.append(_SelectEntry(self, mailbox))
+        return False, None
+
+    def _fire(self, mailbox: "Mailbox", item: Any) -> None:
+        if self._fired:  # pragma: no cover - defensive (finished guards)
+            mailbox._items.append(item)
+            return
+        self._fired = True
+        task = self._task
+        if task is None or task.finished:  # pragma: no cover - defensive
+            mailbox._items.append(item)
+            return
+        task.cpu.make_ready(task, (mailbox, item))
 
 
 class Condition:

@@ -95,6 +95,14 @@ def test_reproduce_paper_tables(capsys):
     assert "DEVIATES" not in out
 
 
+def test_fault_tolerance_demo(capsys):
+    run_example("fault_tolerance_demo.py")
+    out = capsys.readouterr().out
+    assert "the whole SCI fabric dies" in out
+    assert "channel failover events" in out
+    assert "byte-identical" in out
+
+
 def test_trace_analysis(capsys):
     run_example("trace_analysis.py")
     out = capsys.readouterr().out

@@ -3,14 +3,16 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import MadeleineError
+from repro.errors import FailoverExhaustedError, MadeleineError
+from repro.faults import FaultPlan, fabric_death
 from repro.madeleine import MadeleineSession
 from repro.madeleine.striping import stripe_sizes, striped_recv, striped_send
 from repro.networks import base_protocol
+from repro.units import us
 
 
-def make_rail_session(rails=2, protocol="bip"):
-    session = MadeleineSession()
+def make_rail_session(rails=2, protocol="bip", fault_plan=None):
+    session = MadeleineSession(fault_plan=fault_plan)
     names = [protocol] + [f"{protocol}#{i}" for i in range(1, rails)]
     for name in names:
         session.add_fabric(name)
@@ -119,6 +121,86 @@ class TestStripedTransfer:
 
         task = p0.runtime.spawn(sender)
         with pytest.raises(MadeleineError):
+            session.run()
+
+
+class TestStripingUnderFaults:
+    def _roundtrip_with_plan(self, rails, size, fault_plan, payload=b"data",
+                             repeats=1):
+        session, channels = make_rail_session(rails=rails,
+                                              fault_plan=fault_plan)
+        ins = session.engine.enable_instrumentation()
+        p0, p1 = session.processes
+        ports0 = [p0.port(c) for c in channels]
+        ports1 = [p1.port(c) for c in channels]
+        out = []
+
+        def sender():
+            for _ in range(repeats):
+                yield from striped_send(ports0, 1, payload, size)
+
+        def receiver():
+            for _ in range(repeats):
+                data = yield from striped_recv(ports1, size)
+                out.append(data)
+
+        p0.runtime.spawn(sender)
+        p1.runtime.spawn(receiver)
+        session.run()
+        return out, ins, channels
+
+    def test_uneven_stripe_sizes_roundtrip(self):
+        """Stripe totals that do not divide evenly across the rails."""
+        session, channels = make_rail_session(rails=3)
+        p0, p1 = session.processes
+        ports0 = [p0.port(c) for c in channels]
+        ports1 = [p1.port(c) for c in channels]
+        sizes = [100_001, 7, 3_000_002]
+        out = []
+
+        def sender():
+            for size in sizes:
+                yield from striped_send(ports0, 1, ("blob", size), size)
+
+        def receiver():
+            for size in sizes:
+                out.append((yield from striped_recv(ports1, size)))
+
+        p0.runtime.spawn(sender)
+        p1.runtime.spawn(receiver)
+        session.run()
+        assert out == [("blob", size) for size in sizes]
+
+    def test_rail_dies_mid_message(self):
+        """A rail's fabric dies while a striped transfer is in flight; the
+        lost stripes are recovered through a surviving rail."""
+        size = 2_000_000
+        plan = FaultPlan(fabrics={"bip#1": fabric_death(us(500))}, seed=4)
+        out, ins, channels = self._roundtrip_with_plan(2, size, plan)
+        assert out == [b"data"]
+        assert ins.metrics.total("failover.channels") == 1
+        assert ins.metrics.total("transport.retransmits") > 0
+        assert channels[1].dead and not channels[0].dead
+
+    def test_single_surviving_rail_degradation(self):
+        """With two of three rails dead, later transfers degrade onto the
+        one survivor and still complete."""
+        plan = FaultPlan(fabrics={"bip#1": fabric_death(us(200)),
+                                  "bip#2": fabric_death(us(200))}, seed=4)
+        out, ins, channels = self._roundtrip_with_plan(
+            3, 300_000, plan, repeats=3)
+        assert out == [b"data"] * 3
+        assert ins.metrics.total("failover.channels") == 2
+        assert [c.dead for c in channels] == [False, True, True]
+
+    def test_all_rails_dead_raises(self):
+        session, channels = make_rail_session(rails=2)
+        for channel in channels:
+            channel.dead = True
+        p0 = session.processes[0]
+        p0.runtime.spawn(striped_send([p0.port(c) for c in channels],
+                                      1, b"x", 10))
+        with pytest.raises(FailoverExhaustedError):
             session.run()
 
 
