@@ -1,0 +1,95 @@
+"""Profile a paper-figure entry point under cProfile.
+
+The perf work in DESIGN.md ("Simulator performance") started from exactly
+this view: run one figure end-to-end, sort by cumulative time, and look
+at what the event loop spends its life on.  Keep using it before touching
+the hot path — the top-20 table is the evidence a change needs.
+
+Usage::
+
+    python benchmarks/profile.py figure6_tcp
+    python benchmarks/profile.py figure9_multiprotocol --top 40
+    python benchmarks/profile.py table2_summary --sort tottime
+    python benchmarks/profile.py --list
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# When run as a script, Python puts this directory first on sys.path, where
+# this very file shadows the stdlib ``profile`` module that cProfile
+# imports.  Drop it — nothing here imports from benchmarks/.
+_HERE = Path(__file__).resolve().parent
+sys.path[:] = [p for p in sys.path if Path(p or ".").resolve() != _HERE]
+sys.modules.pop("profile", None)
+
+import argparse  # noqa: E402
+import cProfile  # noqa: E402
+import pstats  # noqa: E402
+import time  # noqa: E402
+
+REPO_ROOT = _HERE.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def _entry_points() -> dict:
+    """Zero-argument callables exported by repro.bench.figures."""
+    from repro.bench import figures
+
+    points = {}
+    for name in dir(figures):
+        if name.startswith(("figure", "table")):
+            fn = getattr(figures, name)
+            if callable(fn):
+                points[name] = fn
+    return points
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("entry", nargs="?", default="figure6_tcp",
+                        help="entry point in repro.bench.figures "
+                             "(default: figure6_tcp)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the stats table to print (default 20)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--dump", default=None,
+                        help="also write raw pstats data to this path "
+                             "(inspect later with pstats or snakeviz)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available entry points and exit")
+    args = parser.parse_args(argv)
+
+    points = _entry_points()
+    if args.list:
+        for name in sorted(points):
+            print(name)
+        return 0
+    if args.entry not in points:
+        parser.error(f"unknown entry point {args.entry!r}; "
+                     f"choose from: {', '.join(sorted(points))}")
+
+    fn = points[args.entry]
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    print(f"{args.entry}: {elapsed:.3f}s wall-clock\n")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw profile written to {args.dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

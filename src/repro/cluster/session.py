@@ -163,12 +163,23 @@ class MPIWorld:
         rank's main thread is still blocked (a hung MPI job).
         """
         mains = []
+        # Completion is counted by a per-task done callback instead of
+        # scanning every main's state once per engine event (the scan was
+        # ~12 % of profiled run() time on the figure benchmarks).
+        remaining = len(self.envs)
+
+        def _main_done(_task) -> None:
+            nonlocal remaining
+            remaining -= 1
+
         for env in self.envs:
             task = env.process.runtime.spawn(program(env),
                                              name=f"rank{env.rank}.main")
+            task.add_done_callback(_main_done)
             mains.append(task)
         executed = 0
-        while not all(task.finished for task in mains):
+        step = self.engine.step
+        while remaining:
             if max_events is not None and executed >= max_events:
                 stuck = [t for t in mains if not t.finished]
                 raise DeadlockError(
@@ -176,7 +187,7 @@ class MPIWorld:
                     "running", blocked=[t.name for t in stuck],
                     waiting={t.name: t.waiting_description() for t in stuck},
                 )
-            if not self.engine.step():
+            if not step():
                 stuck = [t for t in mains if not t.finished]
                 raise DeadlockError(
                     f"MPI job hung: event queue drained with {len(stuck)} "

@@ -18,11 +18,13 @@ The kernel is deliberately tiny and deterministic:
 
 from repro.sim.coroutines import (
     Charge,
+    ClockSleep,
     GetTime,
     Sleep,
     Wait,
     YieldCPU,
     charge,
+    clock_sleep,
     now,
     sleep,
     wait,
@@ -62,6 +64,7 @@ __all__ = [
     "NULL_INSTRUMENTS",
     "GetTime",
     "Mailbox",
+    "ClockSleep",
     "MailboxSelect",
     "Mutex",
     "Semaphore",
@@ -71,6 +74,7 @@ __all__ = [
     "Wait",
     "YieldCPU",
     "charge",
+    "clock_sleep",
     "now",
     "sleep",
     "wait",

@@ -54,6 +54,21 @@ class Sleep(SystemCall):
         self.duration = int(duration)
 
 
+class ClockSleep(Sleep):
+    """A :class:`Sleep` whose wake is a pure self-clock tick.
+
+    Used by periodic polling threads for their between-poll pauses: the
+    wake affects nothing but the sleeping thread itself (its mailbox can
+    only be filled by other engine events).  The engine files these
+    wakes separately so the idle-poll fast-forward can ask "when is the
+    next event that could actually *change* something?" without two
+    idle pollers pinning each other awake (see
+    ``Engine.next_payload_time``).
+    """
+
+    __slots__ = ()
+
+
 class Wait(SystemCall):
     """Block on a :class:`~repro.sim.sync.Waitable` until it signals us.
 
@@ -87,6 +102,11 @@ def charge(duration: int) -> Charge:
 def sleep(duration: int) -> Sleep:
     """Release the CPU for ``duration`` ns."""
     return Sleep(duration)
+
+
+def clock_sleep(duration: int) -> ClockSleep:
+    """Release the CPU for ``duration`` ns as a poller self-clock tick."""
+    return ClockSleep(duration)
 
 
 def wait(waitable: Any) -> Wait:

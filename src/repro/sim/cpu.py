@@ -6,6 +6,15 @@ paper's hardware: a task holds the CPU until it charges, sleeps, blocks or
 yields.  Time only passes when a task *charges* (software overhead) or when
 the CPU is idle waiting for an event — so every microsecond of the results
 is attributable to a modelled cost.
+
+Scheduling hot path: releasing the CPU does not enqueue a zero-delay
+dispatch event when the engine is *quiet* (no other event due at the
+current timestamp) — the next ready task is dispatched synchronously
+instead, which is observably identical because the dispatch event would
+have been the unique next thing the engine executed (see
+``Engine.quiet_now``).  When the engine is not quiet, the dispatch goes
+through ``Engine.call_soon`` so same-timestamp events keep their exact
+FIFO ordering.
 """
 
 from __future__ import annotations
@@ -15,7 +24,15 @@ from collections import deque
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
-from repro.sim.coroutines import Charge, GetTime, Sleep, SystemCall, Wait, YieldCPU
+from repro.sim.coroutines import (
+    Charge,
+    ClockSleep,
+    GetTime,
+    Sleep,
+    SystemCall,
+    Wait,
+    YieldCPU,
+)
 from repro.sim.engine import Engine
 
 TaskBody = Generator[SystemCall, Any, Any]
@@ -63,6 +80,10 @@ class Task:
         #: killed at teardown — the polling threads of ch_mad are daemons.
         self.daemon = daemon
         self.state = TaskState.NEW
+        #: True once the task reached DONE/FAILED/KILLED.  A plain flag,
+        #: not a property over ``state``: it is read millions of times on
+        #: the scheduler hot path (enum-set membership costs a hash).
+        self.finished = False
         self.result: Any = None
         self.exception: BaseException | None = None
         #: Total ns of CPU this task has charged (profiling; the Fig. 9
@@ -73,17 +94,34 @@ class Task:
         #: a hung thread was waiting for.
         self.waiting_on: Any = None
         self._joiners: list[tuple[Task, Any]] = []
+        self._done_callbacks: list[Callable[["Task"], None]] = []
         self._wake_value: Any = None
+        #: True while this task sits in its CPU's ready deque (tombstone
+        #: accounting: a killed task stays queued but dead, see
+        #: ``CPU._discard``).
+        self._queued = False
 
     # -- waitable protocol (join) ------------------------------------------
 
     def _try_acquire(self, task: "Task") -> tuple[bool, Any]:
-        if self.state in FINISHED_STATES:
+        if self.finished:
             if self.exception is not None:
                 raise self.exception
             return True, self.result
         self._joiners.append((task, None))
         return False, None
+
+    def add_done_callback(self, fn: Callable[["Task"], None]) -> None:
+        """Call ``fn(self)`` when the task finishes (any terminal state).
+
+        Fires immediately if the task is already finished.  Completion
+        bookkeeping (e.g. the cluster session's remaining-ranks counter)
+        uses this instead of polling ``finished`` per engine event.
+        """
+        if self.finished:
+            fn(self)
+        else:
+            self._done_callbacks.append(fn)
 
     def _finish(self, result: Any = None, exception: BaseException | None = None,
                 killed: bool = False) -> None:
@@ -95,14 +133,15 @@ class Task:
         else:
             self.state = TaskState.DONE
             self.result = result
+        self.finished = True
         joiners, self._joiners = self._joiners, []
         for joiner, _ in joiners:
-            if joiner.state not in FINISHED_STATES:
+            if not joiner.finished:
                 joiner.cpu.make_ready(joiner, self.result)
-
-    @property
-    def finished(self) -> bool:
-        return self.state in FINISHED_STATES
+        if self._done_callbacks:
+            callbacks, self._done_callbacks = self._done_callbacks, []
+            for fn in callbacks:
+                fn(self)
 
     def waiting_description(self) -> str:
         """Human-readable description of what this task is blocked on."""
@@ -146,6 +185,10 @@ class CPU:
         self.switch_cost = int(switch_cost)
         self.current: Task | None = None
         self._ready: deque[Task] = deque()
+        #: Tombstones: killed tasks still sitting in ``_ready`` (they are
+        #: skipped on pop).  ``ready_count`` subtracts this so discarding
+        #: a queued task is O(1) instead of ``deque.remove``'s O(n).
+        self._ready_dead = 0
         self._last_ran: Task | None = None
         self._dispatch_pending = False
         self._tasks: list[Task] = []
@@ -162,6 +205,7 @@ class CPU:
         task = Task(self, body, name=name, daemon=daemon)
         self._tasks.append(task)
         task.state = TaskState.READY
+        task._queued = True
         self._ready.append(task)
         self._ensure_dispatch()
         return task
@@ -175,8 +219,13 @@ class CPU:
         task.state = TaskState.READY
         task.waiting_on = None
         task._wake_value = value
+        task._queued = True
         self._ready.append(task)
         self._ensure_dispatch()
+
+    def ready_count(self) -> int:
+        """Live tasks waiting in the ready queue.  O(1)."""
+        return len(self._ready) - self._ready_dead
 
     def tasks(self) -> Iterable[Task]:
         """All tasks ever spawned on this CPU."""
@@ -196,72 +245,150 @@ class CPU:
     # -- internals ----------------------------------------------------------
 
     def _discard(self, task: Task) -> None:
-        try:
-            self._ready.remove(task)
-        except ValueError:
-            pass
+        # O(1) tombstone: the task stays in the deque; _dispatch skips
+        # finished tasks and ready_count() subtracts the dead.
+        if task._queued:
+            self._ready_dead += 1
 
     def _ensure_dispatch(self) -> None:
         if self.current is None and not self._dispatch_pending:
             self._dispatch_pending = True
-            self.engine.schedule(0, self._dispatch)
+            self.engine.call_soon(self._dispatch)
+
+    def _release_cpu(self) -> None:
+        """The CPU just went idle at the tail of an event callback.
+
+        Dispatch the next ready task inline when that is legal (engine
+        quiet at this timestamp), otherwise fall back to a queued
+        zero-delay dispatch exactly like the pre-fast-path scheduler.
+        """
+        if self._dispatch_pending:
+            return
+        if self._ready and self.engine.quiet_now():
+            self._dispatch()
+        else:
+            self._dispatch_pending = True
+            self.engine.call_soon(self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
-        if self.current is not None:
-            return
-        while self._ready:
-            task = self._ready.popleft()
+        ready = self._ready
+        engine = self.engine
+        while self.current is None and ready:
+            task = ready.popleft()
+            task._queued = False
             if task.finished:
+                self._ready_dead -= 1
                 continue
             self.current = task
             value, task._wake_value = task._wake_value, None
             if self._last_ran is not task and self.switch_cost > 0:
                 self.busy_time += self.switch_cost
-                self.engine.schedule(self.switch_cost, self._resume, task, value)
-            else:
-                self._resume(task, value)
-            return
+                engine.schedule_discard(self.switch_cost, self._resume_event,
+                                        task, value)
+                return
+            self._resume(task, value)
+            # The task charged (still current, resumes via a timed event)
+            # or released the CPU.  Keep dispatching inline only while the
+            # engine stays quiet; otherwise preserve event-queue ordering.
+            if self.current is not None:
+                return
+            if ready and not engine.quiet_now():
+                self._ensure_dispatch()
+                return
+
+    def _resume_event(self, task: Task, value: Any) -> None:
+        """Engine-event entry point for resuming ``task``."""
+        self._resume(task, value)
+        if self.current is None:
+            self._release_cpu()
 
     def _resume(self, task: Task, value: Any) -> None:
-        """Advance ``task``'s generator, interpreting its system calls."""
+        """Advance ``task``'s generator, interpreting its system calls.
+
+        Returns with ``self.current`` still set iff the task is charging
+        (a timed ``_resume_event`` is queued); otherwise the CPU has been
+        released and the *caller* is responsible for dispatching next
+        (``_dispatch`` loops inline, ``_resume_event`` calls
+        ``_release_cpu``).
+        """
         if task.finished:
             self.current = None
-            self._ensure_dispatch()
             return
         self._last_ran = task
+        engine = self.engine
+        send = task.gen.send
+        running = TaskState.RUNNING
         while True:
-            task.state = TaskState.RUNNING
+            task.state = running
             try:
-                syscall = task.gen.send(value)
+                syscall = send(value)
             except StopIteration as stop:
                 self.current = None
                 task._finish(result=stop.value)
-                self._ensure_dispatch()
                 return
             except BaseException as exc:
                 self.current = None
                 task._finish(exception=exc)
+                # Not a tail position: the exception propagates through the
+                # engine, so any further dispatch must stay queued.
                 self._ensure_dispatch()
                 raise
             value = None
-            if isinstance(syscall, Charge):
-                if syscall.duration == 0:
+            cls = syscall.__class__
+            if cls is Charge:
+                duration = syscall.duration
+                if duration == 0:
                     continue
                 task.state = TaskState.CHARGING
-                self.busy_time += syscall.duration
-                task.cpu_time += syscall.duration
-                self.engine.schedule(syscall.duration, self._resume, task, None)
+                self.busy_time += duration
+                task.cpu_time += duration
+                engine.schedule_discard(duration, self._resume_event, task, None)
                 return
-            if isinstance(syscall, GetTime):
-                value = self.engine.now
+            if cls is Wait:
+                waitable = syscall.waitable
+                acquired, wait_value = waitable._try_acquire(task)
+                if acquired:
+                    value = wait_value
+                    continue
+                task.state = TaskState.BLOCKED
+                task.waiting_on = waitable
+                self.current = None
+                return
+            if cls is GetTime:
+                value = engine._now
                 continue
-            if isinstance(syscall, Sleep):
+            if cls is Sleep:
                 task.state = TaskState.SLEEPING
                 self.current = None
-                self.engine.schedule(syscall.duration, self._wake_sleeper, task)
-                self._ensure_dispatch()
+                engine.schedule_discard(syscall.duration, self._wake_sleeper, task)
                 return
+            if cls is ClockSleep:
+                task.state = TaskState.SLEEPING
+                self.current = None
+                engine.schedule_clock(syscall.duration, self,
+                                      self._wake_sleeper, task)
+                return
+            if cls is YieldCPU:
+                task.state = TaskState.READY
+                self.current = None
+                task._queued = True
+                self._ready.append(task)
+                return
+            # Subclasses of the syscall types still work, just off the
+            # fast path.
+            if isinstance(syscall, Charge):
+                duration = syscall.duration
+                if duration == 0:
+                    continue
+                task.state = TaskState.CHARGING
+                self.busy_time += duration
+                task.cpu_time += duration
+                engine.schedule_discard(duration, self._resume_event, task, None)
+                return
+            if isinstance(syscall, GetTime):
+                value = engine._now
+                continue
             if isinstance(syscall, Wait):
                 acquired, wait_value = syscall.waitable._try_acquire(task)
                 if acquired:
@@ -270,13 +397,22 @@ class CPU:
                 task.state = TaskState.BLOCKED
                 task.waiting_on = syscall.waitable
                 self.current = None
-                self._ensure_dispatch()
+                return
+            if isinstance(syscall, Sleep):
+                task.state = TaskState.SLEEPING
+                self.current = None
+                if isinstance(syscall, ClockSleep):
+                    engine.schedule_clock(syscall.duration, self,
+                                          self._wake_sleeper, task)
+                else:
+                    engine.schedule_discard(syscall.duration,
+                                            self._wake_sleeper, task)
                 return
             if isinstance(syscall, YieldCPU):
                 task.state = TaskState.READY
                 self.current = None
+                task._queued = True
                 self._ready.append(task)
-                self._ensure_dispatch()
                 return
             raise SimulationError(
                 f"task {task.name} yielded {syscall!r}, which is not a SystemCall"
@@ -286,8 +422,11 @@ class CPU:
         if task.finished:
             return
         task.state = TaskState.READY
+        task._queued = True
         self._ready.append(task)
-        self._ensure_dispatch()
+        if self.current is None:
+            self._release_cpu()
+        # else: the CPU is busy; whoever releases it dispatches.
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CPU {self.name} current={self.current} ready={len(self._ready)}>"

@@ -2,15 +2,36 @@
 
 Determinism contract: events scheduled for the same timestamp fire in the
 order they were scheduled (FIFO), enforced by a monotonically increasing
-sequence number used as a heap tie-breaker.  Nothing in the simulator uses
-wall-clock time or unseeded randomness, so a run is a pure function of its
-inputs.
+sequence number used as a priority tie-breaker.  Nothing in the simulator
+uses wall-clock time or unseeded randomness, so a run is a pure function
+of its inputs.
+
+Hot-path layout (the per-event cost dominates every benchmark's
+wall-clock, see DESIGN.md "Simulator performance"):
+
+- the heap stores ``(time, seq, event)`` tuples so ``heapq`` compares
+  C-level tuples instead of calling ``Event.__lt__``;
+- zero-delay events — overwhelmingly CPU dispatch requests — bypass the
+  heap entirely and live in a FIFO deque.  Because an entry's timestamp
+  equals the clock when it was appended and the clock cannot pass a
+  queued event, the deque is always sorted by ``(time, seq)``; ``step``
+  merely compares the two queue heads, preserving the exact global
+  ordering a single heap would produce;
+- internal fire-and-forget events (charge completions, sleeper wakes,
+  dispatches) are recycled through a free pool via :meth:`call_soon` /
+  :meth:`schedule_discard`, whose callers promise not to retain the
+  handle;
+- cancellation is lazy (O(1)) with an O(1) live-event counter behind
+  :meth:`pending`; when cancelled events outnumber live ones the queues
+  are compacted so a cancel-heavy workload (retransmit timers) cannot
+  bloat the heap.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -21,22 +42,33 @@ from repro.sim.trace import NULL_TRACER, Tracer
 class Event:
     """A scheduled callback.  Returned by :meth:`Engine.schedule`.
 
-    Events may be cancelled; a cancelled event stays in the heap but is
+    Events may be cancelled; a cancelled event stays queued but is
     skipped when popped (lazy deletion, O(1) cancel).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine",
+                 "_pooled", "_done")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any],
+                 args: tuple, engine: "Engine | None" = None,
+                 pooled: bool = False):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
+        self._pooled = pooled
+        self._done = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -46,13 +78,32 @@ class Event:
         return f"<Event t={self.time} seq={self.seq} {state} {self.callback!r}>"
 
 
+#: Compaction is considered once at least this many cancelled events are
+#: queued (tiny queues are not worth rebuilding).
+_COMPACT_MIN = 64
+
+#: Upper bound on the recycled-Event free pool.
+_POOL_MAX = 1024
+
+
 class Engine:
     """Priority-queue event loop over integer-nanosecond virtual time."""
 
     def __init__(self, seed: int = 0) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._queue: list[Event] = []
+        #: Timed events as (time, seq, Event) heap entries.
+        self._queue: list[tuple[int, int, Event]] = []
+        #: Zero-delay events in FIFO (== (time, seq)) order.
+        self._immediate: deque[Event] = deque()
+        #: Poller self-clock wakes as (time, seq, Event, cpu) heap entries
+        #: — same ordering contract, filed apart so
+        #: :meth:`next_payload_time` can see past them (one entry per
+        #: sleeping periodic poller, so this heap stays tiny).
+        self._clock_queue: list[tuple[int, int, Event, Any]] = []
+        #: Cancelled events still sitting in either queue.
+        self._cancelled: int = 0
+        self._pool: list[Event] = []
         self._running = False
         #: Number of events executed so far (diagnostic).
         self.events_executed: int = 0
@@ -109,7 +160,14 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ns in the past")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        time = self._now + int(delay)
+        event = Event(time, self._seq, callback, args, self)
+        self._seq += 1
+        if time == self._now:
+            self._immediate.append(event)
+        else:
+            heapq.heappush(self._queue, (time, event.seq, event))
+        return event
 
     def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
@@ -117,26 +175,262 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self._now}"
             )
-        event = Event(int(time), self._seq, callback, args)
+        time = int(time)
+        event = Event(time, self._seq, callback, args, engine=self)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        if time == self._now:
+            self._immediate.append(event)
+        else:
+            heapq.heappush(self._queue, (time, event.seq, event))
         return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> None:
+        """Queue ``callback(*args)`` at the current time (no handle).
+
+        Internal fast path: the event is drawn from the free pool and
+        recycled after it fires, so the caller must not retain it — use
+        :meth:`schedule` when a cancellable handle is needed.  Ordering
+        is identical to ``schedule(0, ...)``.
+        """
+        if self._pool:
+            event = self._pool.pop()
+            event.time = self._now
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event._done = False
+        else:
+            event = Event(self._now, self._seq, callback, args, engine=self,
+                          pooled=True)
+        self._seq += 1
+        self._immediate.append(event)
+
+    def schedule_discard(self, delay: int, callback: Callable[..., Any],
+                         *args: Any) -> None:
+        """Schedule a fire-and-forget event ``delay`` ns from now.
+
+        Like :meth:`call_soon` but timed: the Event is pooled and no
+        handle is returned, so the callback site must never need to
+        cancel it.  The CPU scheduler's charge completions and sleeper
+        wakes — the bulk of all timed events — go through here.
+        """
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay} ns in the past")
+            self.call_soon(callback, *args)
+            return
+        time = self._now + int(delay)
+        if self._pool:
+            event = self._pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event._done = False
+        else:
+            event = Event(time, self._seq, callback, args, engine=self,
+                          pooled=True)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, event.seq, event))
+
+    def schedule_clock(self, delay: int, cpu: Any,
+                       callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule a poller self-clock wake ``delay`` ns from now.
+
+        Pooled and fire-and-forget like :meth:`schedule_discard`, but
+        filed in the clock queue: the wake belongs to an idle periodic
+        poller on ``cpu`` and cannot influence anything except that
+        poller (its mailbox only fills from *other* engine events).
+        Execution order is still exact (time, seq) — :meth:`step` merges
+        all three queues — but :meth:`next_payload_time` can exclude
+        these, which is what lets two idle pollers fast-forward past
+        each other instead of pinning each other awake.
+        """
+        time = self._now + int(delay)
+        if self._pool:
+            event = self._pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event._done = False
+        else:
+            event = Event(time, self._seq, callback, args, engine=self,
+                          pooled=True)
+        self._seq += 1
+        heapq.heappush(self._clock_queue, (time, event.seq, event, cpu))
+
+    # -- cancellation accounting ------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        live = (len(self._queue) + len(self._immediate)
+                + len(self._clock_queue) - self._cancelled)
+        if self._cancelled >= _COMPACT_MIN and self._cancelled > live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from both queues (heap order preserved)."""
+        for entry in self._queue:
+            event = entry[2]
+            if event.cancelled:
+                self._release(event)
+        self._queue = [entry for entry in self._queue
+                       if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        if any(event.cancelled for event in self._immediate):
+            keep: deque[Event] = deque()
+            for event in self._immediate:
+                if event.cancelled:
+                    self._release(event)
+                else:
+                    keep.append(event)
+            self._immediate = keep
+        self._cancelled = 0
+
+    def _release(self, event: Event) -> None:
+        """Return a pooled event to the free list (drop payload refs)."""
+        if event._pooled and len(self._pool) < _POOL_MAX:
+            event.callback = None  # type: ignore[assignment]
+            event.args = ()
+            self._pool.append(event)
 
     # -- execution --------------------------------------------------------
 
+    def _peek_time(self) -> int | None:
+        """Timestamp of the next non-cancelled event, or None if drained.
+
+        Cancelled heads are dropped in passing so the peek stays O(1)
+        amortized.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        while immediate and immediate[0].cancelled:
+            self._cancelled -= 1
+            self._release(immediate.popleft())
+        while queue and queue[0][2].cancelled:
+            self._cancelled -= 1
+            self._release(heapq.heappop(queue)[2])
+        best: int | None = None
+        if immediate:
+            best = immediate[0].time
+        if queue and (best is None or queue[0][0] < best):
+            best = queue[0][0]
+        clock = self._clock_queue
+        if clock and (best is None or clock[0][0] < best):
+            best = clock[0][0]
+        return best
+
+    def next_event_time(self) -> int | None:
+        """Public peek: when the next queued event fires (None if none).
+
+        The idle-poll fast-forward uses this to bound how far it may
+        skip: nothing observable can change before this timestamp.
+        """
+        return self._peek_time()
+
+    def next_payload_time(self, cpu: Any) -> int | None:
+        """When the next event that could affect ``cpu`` fires.
+
+        Like :meth:`next_event_time` but sees past *other* CPUs' poller
+        self-clock wakes (see :meth:`schedule_clock`): such a wake runs
+        an idle poller that only touches its own CPU and its own (empty)
+        mailbox, so it cannot post a payload, wake a task, or change the
+        ready count on ``cpu`` before some non-clock event fires first.
+        Same-CPU clock entries *are* included — another poller waking on
+        this CPU flips its busy/idle decision.  This is the bound the
+        idle-poll fast-forward skips to; excluding each other's clocks
+        is what keeps two idle pollers from pinning each other awake.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        while immediate and immediate[0].cancelled:
+            self._cancelled -= 1
+            self._release(immediate.popleft())
+        while queue and queue[0][2].cancelled:
+            self._cancelled -= 1
+            self._release(heapq.heappop(queue)[2])
+        best: int | None = None
+        if immediate:
+            best = immediate[0].time
+        if queue and (best is None or queue[0][0] < best):
+            best = queue[0][0]
+        # One entry per sleeping periodic poller: linear scan is fine.
+        for entry in self._clock_queue:
+            if entry[3] is cpu and (best is None or entry[0] < best):
+                best = entry[0]
+        return best
+
+    def quiet_now(self) -> bool:
+        """True iff no pending event is due at the current time.
+
+        This is the legality test for inline dispatch: when the engine
+        is quiet *now*, running a ready task immediately is
+        indistinguishable from scheduling a zero-delay dispatch event,
+        because that event would be the unique next thing to execute.
+        """
+        t = self._peek_time()
+        return t is None or t > self._now
+
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        """Execute the next pending event.  Returns False if none remain.
+
+        The pop logic of :meth:`_next_live` is inlined here: this method
+        runs once per simulated event and the extra call was measurable.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        clock = self._clock_queue
+        pool = self._pool
+        while True:
+            # Three-way (time, seq) merge of the queue heads; src tracks
+            # which structure currently holds the minimum.
+            src = 0
+            if immediate:
+                head_event = immediate[0]
+                time = head_event.time
+                seq = head_event.seq
+                src = 1
+            if queue:
+                head = queue[0]
+                if src == 0 or head[0] < time or (head[0] == time
+                                                  and head[1] < seq):
+                    time = head[0]
+                    seq = head[1]
+                    src = 2
+            if clock:
+                head = clock[0]
+                if src == 0 or head[0] < time or (head[0] == time
+                                                  and head[1] < seq):
+                    src = 3
+            if src == 0:
+                return False
+            if src == 1:
+                event = immediate.popleft()
+            elif src == 2:
+                event = heapq.heappop(queue)[2]
+            else:
+                event = heapq.heappop(clock)[2]
             if event.cancelled:
+                self._cancelled -= 1
+                self._release(event)
                 continue
             if event.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue went backwards in time")
+            # Marked done on pop: a cancel() arriving while (or after) the
+            # callback runs must not touch the queued-cancelled counter.
+            event._done = True
             self._now = event.time
             self.events_executed += 1
             event.callback(*event.args)
+            if event._pooled and len(pool) < _POOL_MAX:
+                event.callback = None  # type: ignore[assignment]
+                event.args = ()
+                pool.append(event)
             return True
-        return False
 
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains (or a bound is hit).
@@ -150,32 +444,36 @@ class Engine:
             raise SimulationError("Engine.run() is not reentrant")
         self._running = True
         executed = 0
+        step = self.step
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    self._now = max(self._now, until)
-                    break
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "possible livelock (a polling loop that never sleeps?)"
-                    )
-                self.step()
-                executed += 1
+            if until is None and max_events is None:
+                while step():
+                    pass
             else:
-                if until is not None:
-                    self._now = max(self._now, until)
+                while True:
+                    head = self._peek_time()
+                    if head is None:
+                        if until is not None:
+                            self._now = max(self._now, until)
+                        break
+                    if until is not None and head > until:
+                        self._now = max(self._now, until)
+                        break
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "possible livelock (a polling loop that never sleeps?)"
+                        )
+                    step()
+                    executed += 1
         finally:
             self._running = False
         return self._now
 
     def pending(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events still queued.  O(1)."""
+        return (len(self._queue) + len(self._immediate)
+                + len(self._clock_queue) - self._cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine t={self._now} pending={self.pending()}>"

@@ -159,3 +159,50 @@ class TestSweeps:
         results = sweep(fake_measure, [1, 2, 3])
         assert calls == [1, 2, 3]
         assert [r.size for r in results] == [1, 2, 3]
+
+
+class TestSimPerfSuite:
+    """Smoke the wall-clock micro-benchmark harness (quick probes only)."""
+
+    @pytest.fixture(scope="class")
+    def simperf(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (Path(__file__).resolve().parents[1]
+                / "benchmarks" / "perf" / "simperf.py")
+        spec = importlib.util.spec_from_file_location("simperf", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_quick_suite_produces_positive_rates(self, simperf):
+        record = simperf.run_suite(quick=True)
+        assert record["schema"] == "simperf/1"
+        probes = record["probes"]
+        assert probes["engine_throughput"]["events_per_sec"] > 0
+        assert probes["pingpong_rate"]["events_per_sec"] > 0
+        # Quick mode skips the expensive end-to-end figure probe.
+        assert "figure6_wall" not in probes
+
+    def test_quick_pingpong_latency_matches_golden(self, simperf):
+        # The probe must measure the same simulated machine the golden
+        # digests pin (reps differ, so only one_way min is comparable).
+        result = simperf.pingpong_rate(size=1024, reps=8)
+        assert result["one_way_ns"] == 256816
+
+    def test_committed_baseline_parses_and_matches_schema(self, simperf):
+        import json
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parents[1] / "BENCH_simperf.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["schema"] == "simperf/1"
+        assert baseline["probes"]["figure6_wall"]["latency_checksum"] == 395655228
+        before = baseline["before"]["probes"]
+        after = baseline["probes"]
+        # The record must demonstrate the >= 2x figure6 acceptance target.
+        assert before["figure6_wall"]["seconds"] >= \
+            2.0 * after["figure6_wall"]["seconds"]
+        assert before["figure6_wall"]["latency_checksum"] == \
+            after["figure6_wall"]["latency_checksum"]

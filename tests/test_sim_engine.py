@@ -167,3 +167,121 @@ def test_run_is_not_reentrant():
     engine.schedule(1, reenter)
     engine.run()
     assert len(failure) == 1
+
+
+# -- hot-path machinery: immediate queue, pooling, clock queue -------------
+
+
+def test_call_soon_interleaves_fifo_with_zero_delay_schedule():
+    """call_soon and schedule(0, ...) share one (time, seq) order."""
+    engine = Engine()
+    seen = []
+
+    def kickoff():
+        engine.schedule(0, seen.append, "a")
+        engine.call_soon(seen.append, "b")
+        engine.schedule(0, seen.append, "c")
+        engine.call_soon(seen.append, "d")
+
+    engine.schedule(3, kickoff)
+    engine.run()
+    assert seen == ["a", "b", "c", "d"]
+
+
+def test_schedule_discard_merges_with_schedule_by_time_and_seq():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, seen.append, "h1")
+    engine.schedule_discard(10, seen.append, "d1")
+    engine.schedule(10, seen.append, "h2")
+    engine.schedule_discard(5, seen.append, "d0")
+    engine.run()
+    assert seen == ["d0", "h1", "d1", "h2"]
+
+
+def test_schedule_discard_rejects_negative_delay():
+    with pytest.raises(SimulationError):
+        Engine().schedule_discard(-1, lambda: None)
+
+
+def test_pooled_events_are_recycled():
+    engine = Engine()
+    engine.schedule_discard(1, lambda: None)
+    engine.run()
+    assert len(engine._pool) == 1
+    recycled = engine._pool[0]
+    engine.schedule_discard(1, lambda: None)
+    assert not engine._pool
+    engine.run()
+    assert engine._pool[0] is recycled
+
+
+def test_public_schedule_handles_are_never_pooled():
+    """schedule() returns a cancellable handle; recycling it would let a
+    stale cancel() kill an unrelated future event."""
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.run()
+    assert not engine._pool
+    event.cancel()  # after execution: must be a no-op
+    engine.schedule(1, lambda: None)
+    assert engine.pending() == 1
+
+
+def test_cancel_after_execution_does_not_corrupt_pending():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    engine.step()
+    event.cancel()
+    assert engine.pending() == 1
+    assert engine.step() is True
+    assert engine.pending() == 0
+
+
+def test_compaction_keeps_live_events_and_order():
+    engine = Engine()
+    seen = []
+    handles = [engine.schedule(i + 1, seen.append, i) for i in range(200)]
+    for i, handle in enumerate(handles):
+        if i % 2:
+            handle.cancel()
+    # Enough cancels to trigger compaction (cancelled > live, >= minimum).
+    assert engine.pending() == 100
+    engine.run()
+    assert seen == [i for i in range(200) if i % 2 == 0]
+
+
+def test_clock_queue_merges_in_time_seq_order():
+    engine = Engine()
+    seen = []
+    cpu = object()
+    engine.schedule(10, seen.append, "payload10")
+    engine.schedule_clock(5, cpu, seen.append, "clock5")
+    engine.schedule_clock(10, cpu, seen.append, "clock10-after")
+    engine.schedule(10, seen.append, "payload10b")
+    assert engine.pending() == 4
+    engine.run()
+    assert seen == ["clock5", "payload10", "clock10-after", "payload10b"]
+    assert engine.now == 10
+
+
+def test_next_payload_time_sees_past_other_cpus_clock_wakes():
+    engine = Engine()
+    cpu_a, cpu_b = object(), object()
+    engine.schedule_clock(5, cpu_b, lambda: None)
+    engine.schedule(40, lambda: None)
+    # From cpu_a's view, cpu_b's self-clock tick at t=5 is invisible …
+    assert engine.next_payload_time(cpu_a) == 40
+    # … but its own clock entries and real events are not.
+    assert engine.next_payload_time(cpu_b) == 5
+    assert engine.next_event_time() == 5
+
+
+def test_next_payload_time_skims_cancelled_heads():
+    engine = Engine()
+    cpu = object()
+    event = engine.schedule(5, lambda: None)
+    engine.schedule(30, lambda: None)
+    event.cancel()
+    assert engine.next_payload_time(cpu) == 30
