@@ -1,0 +1,21 @@
+"""repro.check — online MPI semantics checking + schedule fuzzing.
+
+Three pieces (see DESIGN.md "Correctness checking"):
+
+- :mod:`repro.check.checker` — the opt-in online invariant checker
+  (``Engine.enable_checker()``), zero-cost when disabled;
+- :mod:`repro.check.waitgraph` — rank-level wait-for-graph diagnosis for
+  hung jobs (powers :class:`~repro.errors.DeadlockError`'s cycle report);
+- :mod:`repro.check.fuzz` — the deterministic schedule-fuzzing harness
+  (``python -m repro.check.fuzz``) and its bundled workloads
+  (:mod:`repro.check.workloads`).
+
+Import discipline: this package's ``__init__`` may only import
+:mod:`.checker` (the sim engine imports it at module level); the
+waitgraph and fuzz modules import the simulator/cluster layers and are
+pulled in lazily by their consumers.
+"""
+
+from repro.check.checker import NULL_CHECKER, Checker, CheckViolation, NullChecker
+
+__all__ = ["NULL_CHECKER", "Checker", "CheckViolation", "NullChecker"]

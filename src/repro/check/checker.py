@@ -1,0 +1,364 @@
+"""The online MPI semantics checker (opt-in, zero-cost when disabled).
+
+The checker is an :class:`~repro.sim.metrics.Instrumentation`-style
+facade: every hook site in the stack guards with ``if checker.enabled:``
+against the :data:`NULL_CHECKER` singleton, so a run with the checker off
+pays one attribute load per hook and nothing else.  Enabled via
+``Engine.enable_checker()``, it shadows the protocol state of the whole
+simulated cluster (the checker is engine-wide, exactly like the tracer)
+and raises a structured :class:`~repro.errors.CheckViolation` the moment
+an invariant breaks:
+
+==================  =====================================================
+``non-overtaking``  Messages of one (context, source, dest, tag) stream
+                    matched out of send order (MPI 3.0 §3.5).
+``rendezvous-       A REQUEST/SENDOK/RNDV packet observed out of the
+handshake``         §4.2.2 three-way handshake order, or referencing an
+                    unknown send/sync id.
+``express-          A ch_mad wire message whose first block is not
+ordering``          receive_EXPRESS or with a non-CHEAPER trailing block
+                    (§4.2.1: the header drives subsequent unpacking).
+``polling-send``    A registered polling thread performed a connection
+                    send itself — the paper's §4.2.3 deadlock rule.
+``reliable-         A duplicate or out-of-window sequence delivered past
+window``            the transport's dedup, or an ack for a sequence that
+                    was never sent (madeleine/reliable.py).
+``finalize-leak``   Requests, unexpected messages, sync structures, gate
+                    tickets or rendezvous transactions still live at
+                    MPI_Finalize.
+==================  =====================================================
+
+This module is imported by :mod:`repro.sim.engine` at module level, so it
+must not import anything from ``repro.sim`` / ``repro.madeleine`` /
+``repro.mpi`` at module scope (the enum used by the EXPRESS check is
+imported lazily).  The wait-for-graph lives in
+:mod:`repro.check.waitgraph` and the fuzzing harness in
+:mod:`repro.check.fuzz`, both imported only by their consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CheckViolation
+
+
+class NullChecker:
+    """Disabled checker: every hook site sees ``enabled`` False and skips.
+
+    The no-op methods exist so direct calls (tests, defensive code) stay
+    harmless even without the ``enabled`` guard.
+    """
+
+    enabled = False
+    violations: tuple = ()
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._noop
+
+    @staticmethod
+    def _noop(*_args: Any, **_kwargs: Any) -> None:
+        return None
+
+
+NULL_CHECKER = NullChecker()
+
+
+class Checker:
+    """Live per-engine protocol checker (one per simulated cluster)."""
+
+    enabled = True
+
+    def __init__(self, engine: Any, raise_on_violation: bool = True):
+        self.engine = engine
+        #: When False, violations are recorded in :attr:`violations` but
+        #: the simulation keeps running (the fuzz harness uses this to
+        #: collect every violation of a seed in one run).
+        self.raise_on_violation = raise_on_violation
+        self.violations: list[CheckViolation] = []
+        # Non-overtaking: per-stream send counters, a side table mapping
+        # the in-flight envelope (by identity — envelopes travel by
+        # reference end-to-end) to its stream position, and per-stream
+        # match counters.  Stream key: (context, src, dst, tag).
+        self._sent_next: dict[tuple, int] = {}
+        self._in_flight: dict[int, tuple] = {}   # id(env) -> (env, key, seq)
+        self._matched_next: dict[tuple, int] = {}
+        # Rendezvous handshake: send_id -> (state, sender, receiver), plus
+        # the sync_id -> send_id map learned from SENDOK packets.
+        self._rndv: dict[int, tuple[str, int, int]] = {}
+        self._sync_to_send: dict[int, int] = {}
+        # §4.2.3 polling discipline: registered polling-thread tasks.
+        self._pollers: dict[Any, str] = {}
+        # Reliable transport shadow window:
+        # (channel_id, src_rank, dst_rank) -> next sequence expected to be
+        # posted into the port's incoming queue.
+        self._recv_window: dict[tuple[int, int, int], int] = {}
+        #: Packets observed per MadPktType name (diagnostics).
+        self.packets_seen: dict[str, int] = {}
+
+    # -- violation plumbing ------------------------------------------------
+
+    def _violate(self, invariant: str, rank: int | None, details: str,
+                 connection: str | None = None) -> None:
+        violation = CheckViolation(invariant, rank, details,
+                                   connection=connection,
+                                   time=self.engine.now)
+        self.violations.append(violation)
+        self.engine.tracer.emit(
+            "check.violation", invariant=invariant,
+            rank=-1 if rank is None else rank,
+            connection=connection or "", details=details,
+        )
+        if self.raise_on_violation:
+            raise violation
+
+    # -- non-overtaking (ADI / point2point) --------------------------------
+
+    def on_send(self, envelope: Any, dest_world: int) -> None:
+        """A message entered the wire-order stream (send gate passed)."""
+        key = (envelope.context_id, envelope.source, dest_world,
+               envelope.tag)
+        seq = self._sent_next.get(key, 0)
+        self._sent_next[key] = seq + 1
+        self._in_flight[id(envelope)] = (envelope, key, seq)
+
+    def on_match(self, envelope: Any, rank: int) -> None:
+        """A message was matched to a receive (posted or unexpected)."""
+        entry = self._in_flight.pop(id(envelope), None)
+        if entry is None:
+            # A device that clones envelopes (none today) or a message the
+            # checker never saw sent — nothing to verify.
+            return
+        _env, key, seq = entry
+        expected = self._matched_next.get(key, 0)
+        self._matched_next[key] = max(expected, seq) + 1
+        if seq != expected:
+            ctx, src, dst, tag = key
+            self._violate(
+                "non-overtaking", rank,
+                f"message #{seq} of stream src={src} dst={dst} tag={tag} "
+                f"ctx={ctx} matched before message #{expected}",
+                connection=f"{src}->{dst}/tag{tag}",
+            )
+
+    # -- rendezvous handshake (ch_mad) -------------------------------------
+
+    def on_chmad_send(self, src: int, dst: int, header: Any) -> None:
+        """A ch_mad packet leaves its origin (once, pre-forwarding)."""
+        kind = header.pkt_type.name
+        self.packets_seen[kind] = self.packets_seen.get(kind, 0) + 1
+        conn = f"{src}->{dst}"
+        if kind == "MAD_REQUEST_PKT":
+            if header.send_id in self._rndv:
+                self._violate("rendezvous-handshake", src,
+                              f"duplicate MAD_REQUEST_PKT for send_id "
+                              f"{header.send_id}", connection=conn)
+                return
+            self._rndv[header.send_id] = ("requested", src, dst)
+        elif kind == "MAD_SENDOK_PKT":
+            entry = self._rndv.get(header.send_id)
+            if entry is None:
+                self._violate("rendezvous-handshake", src,
+                              f"MAD_SENDOK_PKT for unknown send_id "
+                              f"{header.send_id}", connection=conn)
+                return
+            state, sender, receiver = entry
+            if state != "request-received" or src != receiver:
+                self._violate(
+                    "rendezvous-handshake", src,
+                    f"MAD_SENDOK_PKT for send_id {header.send_id} in state "
+                    f"{state!r} (expected 'request-received' acked by rank "
+                    f"{receiver})", connection=conn)
+                return
+            self._rndv[header.send_id] = ("acked", sender, receiver)
+            self._sync_to_send[header.sync_id] = header.send_id
+        elif kind == "MAD_RNDV_PKT":
+            send_id = self._sync_to_send.get(header.sync_id)
+            entry = self._rndv.get(send_id) if send_id is not None else None
+            if entry is None:
+                self._violate("rendezvous-handshake", src,
+                              f"MAD_RNDV_PKT for unknown sync_id "
+                              f"{header.sync_id}", connection=conn)
+                return
+            state, sender, receiver = entry
+            if state != "ack-received":
+                self._violate(
+                    "rendezvous-handshake", src,
+                    f"MAD_RNDV_PKT for send_id {send_id} in state {state!r} "
+                    "(data sent before the acknowledgement arrived)",
+                    connection=conn)
+                return
+            self._rndv[send_id] = ("data-sent", sender, receiver)
+
+    def on_chmad_recv(self, rank: int, header: Any) -> None:
+        """A ch_mad packet reached its final destination's dispatcher."""
+        kind = header.pkt_type.name
+        if kind == "MAD_REQUEST_PKT":
+            entry = self._rndv.get(header.send_id)
+            if entry is None or entry[0] != "requested":
+                state = entry[0] if entry else "unknown"
+                self._violate("rendezvous-handshake", rank,
+                              f"MAD_REQUEST_PKT for send_id {header.send_id} "
+                              f"received in state {state!r}")
+                return
+            self._rndv[header.send_id] = ("request-received",
+                                          entry[1], entry[2])
+        elif kind == "MAD_SENDOK_PKT":
+            entry = self._rndv.get(header.send_id)
+            if entry is None or entry[0] != "acked":
+                state = entry[0] if entry else "unknown"
+                self._violate("rendezvous-handshake", rank,
+                              f"MAD_SENDOK_PKT for send_id {header.send_id} "
+                              f"received in state {state!r}")
+                return
+            self._rndv[header.send_id] = ("ack-received",
+                                          entry[1], entry[2])
+        elif kind == "MAD_RNDV_PKT":
+            send_id = self._sync_to_send.get(header.sync_id)
+            entry = self._rndv.get(send_id) if send_id is not None else None
+            if entry is None or entry[0] != "data-sent":
+                state = entry[0] if entry else "unknown"
+                self._violate("rendezvous-handshake", rank,
+                              f"MAD_RNDV_PKT for sync_id {header.sync_id} "
+                              f"received in state {state!r}")
+                return
+            del self._rndv[send_id]
+            del self._sync_to_send[header.sync_id]
+
+    # -- EXPRESS/CHEAPER flag discipline (ch_mad wire format) --------------
+
+    def on_chmad_wire(self, rank: int, protocol: str, wire: Any) -> None:
+        """Block-mode layout of one ch_mad wire message (§4.2.1).
+
+        Scoped to ch_mad: raw Madeleine applications may legally pack any
+        block layout; the *device's* wire contract is EXPRESS header then
+        CHEAPER body.
+        """
+        from repro.madeleine.constants import ReceiveMode
+        blocks = wire.blocks
+        conn = f"{protocol}:{wire.source_rank}->{rank}"
+        if not blocks:
+            self._violate("express-ordering", rank,
+                          "ch_mad wire message with no blocks",
+                          connection=conn)
+            return
+        if blocks[0].receive_mode is not ReceiveMode.EXPRESS:
+            self._violate(
+                "express-ordering", rank,
+                f"header block sent {blocks[0].receive_mode.value}, ch_mad "
+                "requires receive_EXPRESS (the header drives unpacking)",
+                connection=conn)
+            return
+        for index, block in enumerate(blocks[1:], start=1):
+            if block.receive_mode is not ReceiveMode.CHEAPER:
+                self._violate(
+                    "express-ordering", rank,
+                    f"body block #{index} sent {block.receive_mode.value}, "
+                    "ch_mad bodies must be receive_CHEAPER",
+                    connection=conn)
+                return
+
+    # -- polling-thread send discipline (§4.2.3) ---------------------------
+
+    def register_poller(self, task: Any, source_name: str) -> None:
+        """Record a persistent polling thread (PollingThread spawn)."""
+        self._pollers[task] = source_name
+
+    def on_transmit(self, conn: Any, task: Any) -> None:
+        """A Madeleine connection transmission, charged to ``task``."""
+        if task is None:
+            return
+        source = self._pollers.get(task)
+        if source is not None:
+            channel = conn.port.channel
+            self._violate(
+                "polling-send", conn.port.rank,
+                f"polling thread of source {source!r} performed a send "
+                "itself — §4.2.3: a polling thread must never proceed to a "
+                "send operation (spawn a temporary thread)",
+                connection=f"{channel.name}:{conn.port.rank}->"
+                           f"{conn.remote_rank}")
+
+    # -- reliable transport window (madeleine/reliable.py) -----------------
+
+    def on_wire_deliver(self, port: Any, src: int, seq: int) -> None:
+        """The transport is about to post ``seq`` to the port's queue."""
+        key = (port.channel.id, src, port.rank)
+        expected = self._recv_window.get(key, 0)
+        self._recv_window[key] = max(expected, seq + 1)
+        if seq != expected:
+            kind = ("duplicate delivery" if seq < expected
+                    else f"gap (skipped {seq - expected} message(s))")
+            self._violate(
+                "reliable-window", port.rank,
+                f"sequence {seq} posted where {expected} was expected: "
+                f"{kind}",
+                connection=f"{port.channel.name}:{src}->{port.rank}")
+
+    def on_ack(self, conn: Any, ack_seq: int) -> None:
+        """An acknowledgement reached the sender-side connection."""
+        if ack_seq >= conn._send_seq:
+            channel = conn.port.channel
+            self._violate(
+                "reliable-window", conn.port.rank,
+                f"ack for sequence {ack_seq}, but only {conn._send_seq} "
+                "message(s) were ever sent on this connection",
+                connection=f"{channel.name}:{conn.remote_rank}->"
+                           f"{conn.port.rank}")
+
+    # -- finalize leak checks ----------------------------------------------
+
+    def on_finalize(self, env: Any) -> None:
+        """Per-rank leak audit, run by MPI_Finalize before teardown."""
+        progress = env.progress
+        rank = env.rank
+        posted = len(progress.posted)
+        if posted:
+            self._violate("finalize-leak", rank,
+                          f"{posted} receive(s) still posted at "
+                          "MPI_Finalize (irecv never completed)")
+        unexpected = len(progress.unexpected)
+        if unexpected:
+            self._violate(
+                "finalize-leak", rank,
+                f"{unexpected} unexpected message(s) never received "
+                f"({progress.unexpected.buffered_bytes} buffered byte(s))")
+        if progress.sync_registry:
+            self._violate("finalize-leak", rank,
+                          f"{len(progress.sync_registry)} rendezvous sync "
+                          "structure(s) leaked (data packet never arrived)")
+        for (context_id, dest), gate in progress.send_gates.items():
+            if gate.depth:
+                self._violate(
+                    "finalize-leak", rank,
+                    f"send gate ctx={context_id} dest={dest} still holds "
+                    f"{gate.depth} unreleased ticket(s)")
+        pending = getattr(env.inter_device, "_pending_sends", None)
+        if pending:
+            self._violate("finalize-leak", rank,
+                          f"{len(pending)} rendezvous send(s) never "
+                          "acknowledged (send_ids "
+                          f"{sorted(pending)})")
+
+    def on_world_finalize(self) -> None:
+        """Cluster-wide residue audit after every rank finalized."""
+        if self._rndv:
+            send_id, (state, sender, receiver) = next(iter(
+                sorted(self._rndv.items())))
+            self._violate(
+                "finalize-leak", sender,
+                f"{len(self._rndv)} rendezvous handshake(s) incomplete at "
+                f"finalize (first: send_id {send_id} in state {state!r})",
+                connection=f"{sender}->{receiver}")
+        if self._in_flight:
+            envelopes = sorted(
+                (key, seq) for _env, key, seq in self._in_flight.values())
+            (ctx, src, dst, tag), seq = envelopes[0]
+            self._violate(
+                "finalize-leak", src,
+                f"{len(self._in_flight)} message(s) sent but never matched "
+                f"to a receive (first: stream src={src} dst={dst} tag={tag} "
+                f"ctx={ctx} message #{seq})",
+                connection=f"{src}->{dst}/tag{tag}")

@@ -1,0 +1,292 @@
+"""Schedule fuzzing: perturb legal scheduling choices, keep semantics.
+
+The simulator is deterministic: a run is a pure function of
+``(configuration, seed)``.  That is great for reproducibility and
+terrible for coverage — every test run exercises exactly one
+interleaving of the many the MPI/Madeleine stack must tolerate.
+:class:`ScheduleFuzz` widens the net by perturbing *scheduling* degrees
+of freedom the specification leaves open, without touching modelled
+costs:
+
+- **ready-queue tie-breaking** — when several threads of one process
+  are runnable, rotate the ready queue (any dispatch order is legal);
+- **temporary-thread spawn jitter** — delay a freshly spawned temporary
+  thread (isend bodies, rendezvous acks, forwarding relays) by a few
+  nanoseconds before its first statement runs;
+- **polling-thread phase offsets** — start each periodic poller at a
+  random phase within its period.
+
+All draws come from :meth:`Engine.rng` namespaces under
+``fuzz/{seed}/…``, so one fuzz seed reproduces one schedule exactly:
+
+    python -m repro.check.fuzz --workload mixed --seed 17
+
+The sweep harness (:func:`run_sweep`, also the ``__main__`` CLI) runs
+the :mod:`repro.check.workloads` programs across many fuzz seeds with
+the online checker enabled, and fails a seed when a checker invariant
+trips, the run deadlocks, or the user-visible results differ from the
+other seeds' — printing the one-line repro command above.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+
+_READY_RATE = 0.25
+_SPAWN_JITTER_NS = 2_000
+_POLLER_PHASE_NS = 5_000
+
+
+class ScheduleFuzz:
+    """Seeded scheduling perturbations, installed as ``engine.fuzz``."""
+
+    def __init__(self, engine, seed: int, *, ready_rate: float = _READY_RATE,
+                 spawn_jitter_ns: int = _SPAWN_JITTER_NS,
+                 poller_phase_ns: int = _POLLER_PHASE_NS):
+        self.engine = engine
+        self.seed = int(seed)
+        self.ready_rate = ready_rate
+        self.spawn_jitter_ns = int(spawn_jitter_ns)
+        self.poller_phase_ns = int(poller_phase_ns)
+        #: Number of perturbations actually applied (diagnostic; two
+        #: seeds producing different interleavings usually differ here).
+        self.decisions = 0
+        base = f"fuzz/{self.seed}"
+        self._ready_rng = engine.rng(f"{base}/ready")
+        self._spawn_rng = engine.rng(f"{base}/spawn")
+
+    def perturb_ready(self, ready) -> None:
+        """Maybe rotate a multi-entry ready deque (dispatch tie-break)."""
+        if self._ready_rng.random() < self.ready_rate:
+            ready.rotate(-1)
+            self.decisions += 1
+
+    def spawn_jitter(self) -> int:
+        """Nanoseconds to delay a temporary thread's first statement."""
+        jitter = self._spawn_rng.randrange(self.spawn_jitter_ns + 1)
+        if jitter:
+            self.decisions += 1
+        return jitter
+
+    def poller_phase(self, name: str) -> int:
+        """Phase offset for periodic poller ``name`` (drawn per name, so
+        poller construction order cannot shift the streams)."""
+        rng = self.engine.rng(f"fuzz/{self.seed}/phase/{name}")
+        offset = rng.randrange(self.poller_phase_ns + 1)
+        if offset:
+            self.decisions += 1
+        return offset
+
+
+def install_fuzz(engine, seed: int, **params) -> ScheduleFuzz:
+    """Attach a :class:`ScheduleFuzz` to ``engine`` (before ``run``)."""
+    fuzz = ScheduleFuzz(engine, seed, **params)
+    engine.fuzz = fuzz
+    return fuzz
+
+
+def trace_digest(records: Iterable) -> str:
+    """Canonical digest of an instrumentation record stream."""
+    digest = sha256()
+    for rec in records:
+        digest.update(repr((rec.time, rec.category,
+                            tuple(sorted(rec.fields.items())))).encode())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# one workload run
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkloadRun:
+    """Outcome of one (workload, fuzz seed) execution."""
+
+    workload: str
+    fuzz_seed: int | None
+    workload_seed: int = 0
+    results: Any = None
+    error: ReproError | None = None
+    digest: str = ""
+    time_ns: int = 0
+    decisions: int = 0
+    violations: tuple = ()
+    trace_records: Sequence = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def repro(self) -> str:
+        cmd = (f"python -m repro.check.fuzz --workload {self.workload} "
+               f"--seed {self.fuzz_seed}")
+        if self.workload_seed:
+            cmd += f" --workload-seed {self.workload_seed}"
+        return cmd
+
+
+def run_workload(name: str, fuzz_seed: int | None, *, workload_seed: int = 0,
+                 check: bool = True, raise_on_violation: bool = True,
+                 fuzz_params: dict | None = None) -> WorkloadRun:
+    """Run one bundled workload under the checker (and optionally the
+    fuzzer); never raises — failures land in ``run.error``."""
+    from repro.check.workloads import WORKLOADS
+    from repro.cluster.session import MPIWorld
+
+    config, program = WORKLOADS[name].build(workload_seed)
+    world = MPIWorld(config)
+    ins = world.engine.enable_instrumentation()
+    checker = None
+    if check:
+        checker = world.engine.enable_checker(
+            raise_on_violation=raise_on_violation)
+    if fuzz_seed is not None:
+        install_fuzz(world.engine, fuzz_seed, **(fuzz_params or {}))
+    run = WorkloadRun(name, fuzz_seed, workload_seed)
+    try:
+        run.results = world.run(program)
+    except ReproError as exc:
+        run.error = exc
+    run.digest = trace_digest(ins.tracer.records)
+    run.trace_records = ins.tracer.records
+    run.time_ns = world.engine.now
+    if world.engine.fuzz is not None:
+        run.decisions = world.engine.fuzz.decisions
+    if checker is not None:
+        run.violations = tuple(checker.violations)
+    return run
+
+
+# ---------------------------------------------------------------------------
+# the sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    workload: str
+    fuzz_seed: int
+    kind: str  # "violation" | "results-diverge"
+    detail: str
+    repro: str
+    artifact: str | None = None
+
+
+def _write_artifact(directory: str, run: WorkloadRun,
+                    failure: FuzzFailure) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory,
+                        f"{run.workload}-seed{run.fuzz_seed}.txt")
+    with open(path, "w") as fh:
+        fh.write(f"workload:  {run.workload}\n"
+                 f"fuzz seed: {run.fuzz_seed}\n"
+                 f"kind:      {failure.kind}\n"
+                 f"detail:    {failure.detail}\n"
+                 f"REPRO:     {failure.repro}\n\n"
+                 f"trace ({len(run.trace_records)} records):\n")
+        for rec in run.trace_records:
+            fh.write(f"  {rec.time} {rec.category} "
+                     f"{sorted(rec.fields.items())}\n")
+    return path
+
+
+def run_sweep(workloads: Sequence[str], seeds: Iterable[int], *,
+              workload_seed: int = 0, artifacts_dir: str | None = None,
+              out: Callable[[str], None] = print) -> list[FuzzFailure]:
+    """Run each workload across every fuzz seed; return the failures.
+
+    A seed fails when the run raises (checker violation, deadlock, any
+    :class:`~repro.errors.ReproError`) or when its user-visible results
+    differ from the first seed's — the results of a correct MPI program
+    must not depend on which legal schedule the fuzzer picked.
+    """
+    failures: list[FuzzFailure] = []
+    seeds = list(seeds)
+    for name in workloads:
+        baseline: WorkloadRun | None = None
+        for seed in seeds:
+            run = run_workload(name, seed, workload_seed=workload_seed)
+            failure = None
+            if run.error is not None:
+                failure = FuzzFailure(
+                    name, seed, "violation",
+                    f"{type(run.error).__name__}: {run.error}", run.repro)
+            elif baseline is None:
+                baseline = run
+            elif run.results != baseline.results:
+                failure = FuzzFailure(
+                    name, seed, "results-diverge",
+                    f"user-visible results changed with the schedule "
+                    f"(fuzz seed {seed} vs {baseline.fuzz_seed}): "
+                    f"{run.results!r} != {baseline.results!r}",
+                    run.repro)
+            if failure is None:
+                out(f"ok   {name} seed={seed} t={run.time_ns}ns "
+                    f"decisions={run.decisions} digest={run.digest[:12]}")
+                continue
+            if artifacts_dir:
+                failure.artifact = _write_artifact(artifacts_dir, run,
+                                                   failure)
+            failures.append(failure)
+            out(f"FAIL {name} seed={seed}: {failure.detail}")
+            out(f"REPRO: {failure.repro}")
+            if failure.artifact:
+                out(f"artifact: {failure.artifact}")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.check.workloads import WORKLOADS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.fuzz",
+        description="Fuzz MPI schedules under the online semantics checker.")
+    parser.add_argument("--workload", action="append", dest="workloads",
+                        choices=sorted(WORKLOADS),
+                        help="workload(s) to run (default: all)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run this single fuzz seed (repro mode)")
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="sweep this many fuzz seeds (default 25)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first fuzz seed of the sweep (default 0)")
+    parser.add_argument("--workload-seed", type=int, default=0,
+                        help="seed for the workload's own traffic schedule")
+    parser.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write a trace artifact per failure into DIR")
+    parser.add_argument("--list", action="store_true",
+                        help="list bundled workloads and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for workload in WORKLOADS.values():
+            print(f"{workload.name:12s} {workload.description}")
+        return 0
+
+    workloads = args.workloads or sorted(WORKLOADS)
+    if args.seed is not None:
+        seeds: Sequence[int] = [args.seed]
+    else:
+        seeds = range(args.base_seed, args.base_seed + args.seeds)
+    failures = run_sweep(workloads, seeds, workload_seed=args.workload_seed,
+                         artifacts_dir=args.artifacts)
+    total = len(workloads) * len(list(seeds))
+    if failures:
+        print(f"\n{len(failures)}/{total} runs failed")
+        return 1
+    print(f"\nall {total} runs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

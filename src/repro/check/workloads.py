@@ -1,0 +1,232 @@
+"""Bundled workloads for the schedule fuzzer (:mod:`repro.check.fuzz`).
+
+Each workload builds a cluster configuration plus a rank program whose
+*return value is schedule-independent*: whatever legal interleaving the
+fuzzer provokes, every rank must compute the same user-visible result.
+The sweep harness exploits this — it runs one workload across many fuzz
+seeds with the online checker enabled and fails if either (a) a checker
+invariant trips, or (b) two seeds disagree on the results.
+
+Programs therefore reduce anything timing-dependent to a canonical form
+before returning it: the mixed workload collects wildcard receives into
+a *sorted multiset* (which request caught which message depends on the
+schedule; the set of delivered messages does not).
+
+Pitfalls baked into these programs, learned the hard way:
+
+- collectives run on the communicator's hidden collective context, so
+  posted ``ANY_SOURCE``/``ANY_TAG`` wildcards cannot steal their
+  traffic — but the mixed workload still phases collectives first so
+  the p2p storm and the collective schedule do not share the wire;
+- every receive is posted before any send, so blocking/synchronous
+  sends can always rendezvous (no send-send cycles for the fuzzer to
+  tip into deadlock — *real* deadlocks are the negative tests' job);
+- the lossy variant reuses the mixed program verbatim on lossy fabrics:
+  the reliable transport must make packet loss invisible to results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.cluster.node import ClusterConfig, NodeSpec
+from repro.faults import lossy_plan
+from repro.mpi.algorithms import (
+    ALLREDUCE_ALGORITHMS,
+    BCAST_ALGORITHMS,
+    allgather_bruck,
+)
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.reduce_ops import MAX, SUM
+
+#: ``build(workload_seed) -> (config, program)``; ``program(env)`` is a
+#: rank generator whose return value must not depend on the schedule.
+Builder = Callable[[int], tuple[ClusterConfig, Callable[[Any], Generator]]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    description: str
+    build: Builder
+
+
+def _nodes(count: int, networks: tuple[str, ...]) -> list[NodeSpec]:
+    return [NodeSpec(f"n{i}", networks=networks) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# pingpong: the classic 2-rank latency loop (eager sizes only)
+# ---------------------------------------------------------------------------
+
+def _build_pingpong(workload_seed: int):
+    del workload_seed  # shape is fixed; the fuzzer supplies the variation
+    config = ClusterConfig(nodes=_nodes(2, ("sisci",)))
+    # Sizes straddle the 8 KB SCI switch point: the 16 KB round goes
+    # rendezvous, whose SENDOK temp threads give the fuzzer something
+    # to jitter.  isend (temp-thread send bodies) for the same reason.
+    sizes = (64, 1024, 4096, 16_384)
+    reps, warmup = 4, 2
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me, peer = comm.rank, 1 - comm.rank
+        echoes = []
+        for size in sizes:
+            for rep in range(warmup + reps):
+                payload = (size, rep)
+                if me == 0:
+                    request = comm.isend(payload, dest=peer, tag=5, size=size)
+                    data, _status = yield from comm.recv(source=peer, tag=5)
+                    yield from request.wait()
+                else:
+                    data, _status = yield from comm.recv(source=peer, tag=5)
+                    yield from comm.send(payload, dest=peer, tag=5, size=size)
+                echoes.append(data)
+        return tuple(echoes)
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
+# collectives: every algorithm-registry variant plus the defaults
+# ---------------------------------------------------------------------------
+
+def _build_collectives(workload_seed: int):
+    del workload_seed
+    config = ClusterConfig(nodes=_nodes(4, ("sisci", "tcp")))
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        out = []
+        for name in sorted(BCAST_ALGORITHMS):
+            obj = ("payload", 1) if me == 1 else None
+            value = yield from BCAST_ALGORITHMS[name](comm, obj, root=1)
+            out.append((f"bcast:{name}", value))
+        for name in sorted(ALLREDUCE_ALGORITHMS):
+            value = yield from ALLREDUCE_ALGORITHMS[name](comm, me + 1, SUM)
+            out.append((f"allreduce:{name}", value))
+        value = yield from allgather_bruck(comm, me * 10)
+        out.append(("allgather:bruck", tuple(value)))
+        value = yield from comm.allgather(me * 10)
+        out.append(("allgather:ring", tuple(value)))
+        value = yield from comm.alltoall([f"{me}->{d}" for d in range(comm.size)])
+        out.append(("alltoall", tuple(value)))
+        value = yield from comm.alltoallv(
+            ["x" * (d + 1) * (me + 1) for d in range(comm.size)])
+        out.append(("alltoallv", tuple(value)))
+        value = yield from comm.reduce(me, MAX, root=0)
+        out.append(("reduce:max", value))
+        value = yield from comm.scan(me + 1)
+        out.append(("scan", value))
+        value = yield from comm.exscan(me + 1)
+        out.append(("exscan", value))
+        yield from comm.barrier()
+        return tuple(out)
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
+# mixed: seeded p2p storm (wildcards, all send modes, eager + rendezvous)
+# ---------------------------------------------------------------------------
+
+_SIZES = (0, 4, 512, 8192, 9000, 60_000)
+
+
+def _mixed_schedule(workload_seed: int, nranks: int, nmessages: int):
+    rng = random.Random(f"mixed-workload/{workload_seed}")
+    messages = []
+    for mid in range(nmessages):
+        src = rng.randrange(nranks)
+        dst = rng.choice([r for r in range(nranks) if r != src])
+        tag = rng.randrange(3)
+        size = rng.choice(_SIZES)
+        mode = rng.choice(["send", "isend", "ssend"])
+        messages.append((src, dst, tag, size, mode, mid))
+    wildcard = {r: rng.random() < 0.5 for r in range(nranks)}
+    return messages, wildcard
+
+
+def _mixed_program(messages, wildcard):
+    def program(mpi):
+        from repro.mpi import point2point as _p2p
+
+        comm = mpi.comm_world
+        me = comm.rank
+
+        # Phase 1: collectives, before the p2p storm starts.
+        total = yield from comm.allreduce(me + 1)
+        gathered = yield from comm.allgather(me * 3)
+
+        # Phase 2: post every incoming receive up front.
+        requests = []
+        for src, dst, tag, size, mode, mid in messages:
+            if dst != me:
+                continue
+            if wildcard[me]:
+                requests.append(comm.irecv(source=ANY_SOURCE, tag=ANY_TAG))
+            else:
+                requests.append(comm.irecv(source=src, tag=tag))
+
+        # Phase 3: sends, in schedule order.
+        pending = []
+        for src, dst, tag, size, mode, mid in messages:
+            if src != me:
+                continue
+            payload = (mid, size)
+            if mode == "send":
+                yield from comm.send(payload, dest=dst, tag=tag, size=size)
+            elif mode == "ssend":
+                yield from comm.ssend(payload, dest=dst, tag=tag, size=size)
+            else:
+                pending.append(comm.isend(payload, dest=dst, tag=tag, size=size))
+
+        # Phase 4: drain.  With wildcards, which *request* caught which
+        # message is schedule-dependent; the multiset of delivered
+        # (source, tag, data) triples is not — canonicalize by sorting.
+        got = []
+        for request in requests:
+            data, status = yield from _p2p.recv_wait(comm, request)
+            got.append((status.source, status.tag, data))
+        for request in pending:
+            yield from request.wait()
+        return (total, tuple(gathered), tuple(sorted(got, key=repr)))
+
+    return program
+
+
+def _build_mixed(workload_seed: int):
+    nranks = 4
+    messages, wildcard = _mixed_schedule(workload_seed, nranks, nmessages=18)
+    config = ClusterConfig(nodes=_nodes(nranks, ("sisci",)))
+    return config, _mixed_program(messages, wildcard)
+
+
+def _build_lossy(workload_seed: int):
+    # Same traffic as `mixed`, but over lossy fabrics with the reliable
+    # transport underneath: drops/retransmits must not change results.
+    nranks = 4
+    messages, wildcard = _mixed_schedule(workload_seed, nranks, nmessages=18)
+    config = ClusterConfig(
+        nodes=_nodes(nranks, ("sisci", "tcp")),
+        fault_plan=lossy_plan(0.02, seed=workload_seed + 1),
+    )
+    return config, _mixed_program(messages, wildcard)
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w for w in (
+        Workload("pingpong", "2-rank eager latency loop on SCI",
+                 _build_pingpong),
+        Workload("collectives", "every collective algorithm variant, "
+                 "4 ranks on SCI+TCP", _build_collectives),
+        Workload("mixed", "seeded p2p storm: wildcards, all send modes, "
+                 "eager + rendezvous", _build_mixed),
+        Workload("lossy", "the mixed storm over lossy fabrics with the "
+                 "reliable transport", _build_lossy),
+    )
+}

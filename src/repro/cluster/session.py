@@ -181,26 +181,46 @@ class MPIWorld:
         step = self.engine.step
         while remaining:
             if max_events is not None and executed >= max_events:
-                stuck = [t for t in mains if not t.finished]
-                raise DeadlockError(
+                raise self._deadlock(
                     f"exceeded max_events={max_events} with ranks still "
-                    "running", blocked=[t.name for t in stuck],
-                    waiting={t.name: t.waiting_description() for t in stuck},
-                )
+                    "running", mains)
             if not step():
-                stuck = [t for t in mains if not t.finished]
-                raise DeadlockError(
-                    f"MPI job hung: event queue drained with {len(stuck)} "
-                    "rank(s) still blocked",
-                    blocked=[t.name for t in stuck],
-                    waiting={t.name: t.waiting_description() for t in stuck},
-                )
+                stuck = sum(1 for t in mains if not t.finished)
+                raise self._deadlock(
+                    f"MPI job hung: event queue drained with {stuck} "
+                    "rank(s) still blocked", mains)
             executed += 1
         self.shutdown()
         return [task.result for task in mains]
 
+    def _deadlock(self, message: str, mains) -> DeadlockError:
+        """Build a DeadlockError with the wait-for-graph diagnosis.
+
+        The rank-level graph comes from the blocked-reason metadata every
+        blocking primitive leaves on its waitable (see
+        :mod:`repro.check.waitgraph`); when the waits form a cycle, the
+        error names it rank by rank.
+        """
+        from repro.check.waitgraph import diagnose
+
+        stuck = [t for t in mains if not t.finished]
+        diag = diagnose(self.envs)
+        return DeadlockError(
+            message, blocked=[t.name for t in stuck],
+            waiting={t.name: t.waiting_description() for t in stuck},
+            cycle=diag.cycle_ranks, diagnosis=diag.text,
+        )
+
     def shutdown(self) -> None:
         """MPI_Finalize: stop device polling threads, drain the engine."""
+        checker = self.engine.checker
+        if checker.enabled:
+            # Leak audit before teardown frees everything: leftover
+            # requests, unexpected messages, sync structures, gate
+            # tickets, unacknowledged rendezvous sends.
+            for env in self.envs:
+                checker.on_finalize(env)
+            checker.on_world_finalize()
         for env in self.envs:
             env.shutdown()
         self.engine.run()

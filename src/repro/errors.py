@@ -25,19 +25,56 @@ class DeadlockError(SimulationError):
     description of *what* it is blocked on (the condition/mailbox/flag
     name) — fault bugs surface as hangs, and knowing the waitable is
     usually enough to find the lost message.
+
+    ``cycle`` and ``diagnosis`` come from the rank-level wait-for-graph
+    (see :mod:`repro.check.waitgraph`): when the blocked waits form a
+    cycle (rank 0 waits on rank 1 waits on rank 0...), ``cycle`` lists
+    the ranks in cycle order and ``diagnosis`` names each edge.
     """
 
     def __init__(self, message: str, blocked: list[str] | None = None,
-                 waiting: dict[str, str] | None = None):
+                 waiting: dict[str, str] | None = None,
+                 cycle: list[int] | None = None,
+                 diagnosis: str | None = None):
         #: Names of the threads that were still blocked, for diagnostics.
         self.blocked = list(blocked or [])
         #: thread name -> description of the waitable it blocks on.
         self.waiting = dict(waiting or {})
+        #: Ranks forming the wait-for cycle (empty when none was found).
+        self.cycle = list(cycle or [])
+        #: Human-readable wait-for-graph report (one line per edge).
+        self.diagnosis = diagnosis or ""
         if self.waiting:
             detail = "; ".join(f"{name} <- {what}"
                                for name, what in self.waiting.items())
             message = f"{message} [{detail}]"
+        if self.diagnosis:
+            message = f"{message}\n{self.diagnosis}"
         super().__init__(message)
+
+
+class CheckViolation(ReproError):
+    """A protocol invariant broke (the online checker, repro.check).
+
+    Structured so a failing fuzz seed yields an actionable report: the
+    invariant name, the world rank that observed it, the
+    connection/stream it happened on, and the virtual time.
+    """
+
+    def __init__(self, invariant: str, rank: int | None, details: str,
+                 connection: str | None = None, time: int = 0):
+        #: Invariant name (see the table in DESIGN.md "Correctness checking").
+        self.invariant = invariant
+        #: World rank at which the violation was observed (None = global).
+        self.rank = rank
+        #: Connection/stream the violation happened on, when one exists.
+        self.connection = connection
+        #: Virtual time (ns) of the observation.
+        self.time = time
+        self.details = details
+        where = f"rank {rank}" if rank is not None else "world"
+        conn = f" ({connection})" if connection else ""
+        super().__init__(f"[{invariant}] {where}{conn} t={time}ns: {details}")
 
 
 class NetworkError(ReproError):

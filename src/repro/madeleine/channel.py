@@ -85,6 +85,12 @@ class Connection:
         self.messages_sent = 0
 
     def _transmit(self, blocks: tuple[PackedBlock, ...]) -> Generator:
+        process = self.port.process
+        checker = process.engine.checker
+        if checker.enabled:
+            # §4.2.3: the thread performing a connection send must never
+            # be a registered polling thread.
+            checker.on_transmit(self, process.runtime.cpu.current)
         wire = MadWireMessage(
             channel_id=self.port.channel.id,
             source_rank=self.port.rank,

@@ -233,6 +233,9 @@ class ReliableTransport:
         conn = port._connections.get(ack.source_rank)
         if conn is None:
             return
+        checker = self.engine.checker
+        if checker.enabled:
+            checker.on_ack(conn, ack.ack_seq)
         pending = conn.unacked.pop(ack.ack_seq, None)
         if pending is None:
             return  # ack of a retransmitted message that already completed
@@ -279,9 +282,16 @@ class ReliableTransport:
                           channel=port.channel.name, rank=port.rank)
             buffered[seq] = delivery
             return
+        checker = self.engine.checker
+        if checker.enabled:
+            # Past the dedup/reorder machinery, posts must be the exact
+            # per-(channel, peer) sequence 0, 1, 2, ...
+            checker.on_wire_deliver(port, src, seq)
         port.incoming.post(delivery)
         next_seq += 1
         while next_seq in buffered:
+            if checker.enabled:
+                checker.on_wire_deliver(port, src, next_seq)
             port.incoming.post(buffered.pop(next_seq))
             next_seq += 1
         port._recv_next[src] = next_seq

@@ -88,6 +88,11 @@ class PollingThread:
         self.task: Task = runtime.spawn(
             self._body(), name=f"poll.{source.name}", daemon=True
         )
+        checker = runtime.engine.checker
+        if checker.enabled:
+            # §4.2.3 discipline: the checker flags any send performed
+            # from a registered polling thread.
+            checker.register_poller(self.task, source.name)
 
     def _body(self) -> Generator:
         if self.source.mode is PollMode.EVENT:
@@ -118,6 +123,14 @@ class PollingThread:
         idle_period = self.source.idle_period or period
         cpu = self.runtime.cpu
         engine = self.runtime.engine
+        fuzz = engine.fuzz
+        if fuzz is not None:
+            # Schedule fuzzing: offset this poller's first tick.  A
+            # periodic poller's phase is an accident of start-up order;
+            # protocol correctness must not depend on it.
+            offset = fuzz.poller_phase(self.source.name)
+            if offset:
+                yield sleep(offset)
         while True:
             self.polls += 1
             ins = engine.instruments

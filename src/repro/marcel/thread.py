@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from repro.sim.coroutines import wait
+from repro.sim.coroutines import sleep, wait
 from repro.sim.cpu import CPU, Task, TaskBody
 from repro.sim.engine import Engine
 
@@ -43,8 +43,31 @@ class MarcelRuntime:
 
         Temporary threads are daemons: if the application exits while one
         is still draining, it must not be reported as a deadlock.
+
+        Under schedule fuzzing (see repro.check.fuzz) the thread's start
+        is jittered by a seeded delay — temporary threads carry no timing
+        contract, only ordering ones (send gates, rendezvous flags), so
+        any jitter is a legal schedule.
         """
+        fuzz = self.engine.fuzz
+        if fuzz is not None:
+            jitter = fuzz.spawn_jitter()
+            if jitter:
+                body = self._jittered(jitter, body)
         return self.spawn(body, name=name, daemon=True)
+
+    @staticmethod
+    def _jittered(delay: int,
+                  body: TaskBody | Callable[[], TaskBody]) -> TaskBody:
+        if callable(body) and not hasattr(body, "send"):
+            body = body()
+
+        def wrapper() -> TaskBody:
+            yield sleep(delay)
+            result = yield from body
+            return result
+
+        return wrapper()
 
     @staticmethod
     def join(task: Task) -> Generator[Any, Any, Any]:

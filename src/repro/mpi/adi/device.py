@@ -110,6 +110,9 @@ class ProgressEngine:
         data = yield from self._heterogeneity(envelope, data)
         handle = self.posted.match(envelope)
         if handle is not None:
+            checker = self.runtime.engine.checker
+            if checker.enabled:
+                checker.on_match(envelope, self.process.rank)
             if copy_on_match:
                 yield charge(self.memory.copy_cost(envelope.size))
             self._check_truncation(handle, envelope)
@@ -129,6 +132,9 @@ class ProgressEngine:
         """A rendezvous request arrived (MAD_REQUEST_PKT path)."""
         handle = self.posted.match(envelope)
         if handle is not None:
+            checker = self.runtime.engine.checker
+            if checker.enabled:
+                checker.on_match(envelope, self.process.rank)
             self._check_truncation(handle, envelope)
             sync = self.register_sync(handle)
             # Polling threads must not send: spawn the ack thread (§4.2.3).

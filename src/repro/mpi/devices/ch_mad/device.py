@@ -205,6 +205,13 @@ class ChMadDevice(Device):
                          body: Any, body_size: int,
                          wire_body_size: int | None = None) -> Generator:
         """Send one ch_mad packet, forwarding through a gateway if needed."""
+        engine = self.progress.runtime.engine
+        checker = engine.checker
+        if checker.enabled:
+            # Hooked before the forwarding branch: the checker sees each
+            # logical packet exactly once, at its origin (relays re-enter
+            # through send_wrapped, never through here).
+            checker.on_chmad_send(self.world_rank, dest_world, header)
         port = self.direct_port(dest_world)
         if port is None:
             if dest_world not in self.forward_routes:
@@ -216,7 +223,6 @@ class ChMadDevice(Device):
             yield from self.send_wrapped(dest_world, wrapper)
             return
         tuning = self.tuning[base_protocol(port.channel.protocol)]
-        engine = self.progress.runtime.engine
         engine.tracer.emit(
             "chmad.send", src=self.world_rank, dst=dest_world,
             pkt=header.pkt_type.name, protocol=port.channel.protocol,
@@ -292,6 +298,11 @@ class ChMadDevice(Device):
         )
         shandle.notify_request_sent()  # match slot secured: release ordering
         # Step 2: the receiver replies with the sync structure's address.
+        # Wait-for-graph metadata: this wait depends on the receiver rank.
+        shandle.ack_flag.rank_dep = dest_world
+        shandle.ack_flag.dep_describe = (
+            f"rendezvous SENDOK from rank {dest_world} "
+            f"(send_id={shandle.send_id})")
         sync_id = yield wait(shandle.ack_flag)
         # Step 3: data destination is known — zero-copy transfer.
         protocol = self._protocol_towards(dest_world)

@@ -36,6 +36,11 @@ def dispatch_local(device: "ChMadDevice", header: ChMadHeader,
     packet.  Runs in the polling thread; must not send (it spawns
     temporary threads where a send is required).
     """
+    checker = device.progress.runtime.engine.checker
+    if checker.enabled:
+        # Final-destination counterpart of the origin's on_chmad_send
+        # hook — forwarded packets land here exactly once.
+        checker.on_chmad_recv(device.world_rank, header)
     kind = header.pkt_type
     if kind is MadPktType.MAD_SHORT_PKT:
         yield from device.progress.deliver_eager(header.envelope, body)
@@ -78,6 +83,11 @@ class ChannelPoller:
             # The channel died; keep polling — in-flight traffic of this
             # channel is tunnelled to this very port by the transport.
             return
+        checker = device.progress.runtime.engine.checker
+        if checker.enabled:
+            checker.on_chmad_wire(device.world_rank,
+                                  self.port.channel.protocol,
+                                  delivery.payload)
         incoming = yield from self.port.open_delivery(delivery)
         header = yield from incoming.unpack(
             incoming.next_block_size(), SEND_CHEAPER, RECEIVE_EXPRESS

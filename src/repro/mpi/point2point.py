@@ -59,9 +59,12 @@ class SendGate:
     eager message fully sent, or a rendezvous *request* sent).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dest_world: int | None = None) -> None:
         self._next = 0
         self.current = 0
+        #: Destination rank (wait-for-graph metadata: a task parked on a
+        #: gate ticket is transitively waiting on this rank's receiver).
+        self.dest_world = dest_world
         self._flags: dict[int, Flag] = {}
 
     @property
@@ -76,7 +79,12 @@ class SendGate:
 
     def enter(self, ticket: int) -> Generator:
         while self.current != ticket:
-            flag = self._flags.setdefault(ticket, Flag(name="send-gate"))
+            flag = self._flags.get(ticket)
+            if flag is None:
+                flag = self._flags[ticket] = Flag(name="send-gate")
+                flag.rank_dep = self.dest_world
+                flag.dep_describe = (f"send-gate ticket {ticket} towards "
+                                     f"rank {self.dest_world}")
             yield wait(flag)
 
     def leave(self) -> None:
@@ -143,6 +151,11 @@ def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
         ins.set_gauge("sendgate.depth", gate.depth, rank=env.rank,
                       dest=dest_world)
     yield from gate.enter(ticket)
+    checker = engine.checker
+    if checker.enabled:
+        # Recorded *after* the gate admitted this send: gate order is
+        # wire order is MPI stream order (non-overtaking).
+        checker.on_send(envelope, dest_world)
     release = gate.releaser()
     try:
         if mode is TransferMode.EAGER:
@@ -163,7 +176,7 @@ def send_gate(comm: "Communicator", dest_world: int,
     key = (context_id, dest_world)
     gate = gates.get(key)
     if gate is None:
-        gate = gates[key] = SendGate()
+        gate = gates[key] = SendGate(dest_world=dest_world)
     return gate
 
 
@@ -223,6 +236,16 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
                     else comm._source_world(source))
     entry = env.progress.unexpected.match(context_id, source_world, tag)
     handle = RecvHandle(context_id, source_world, tag, capacity)
+    # Wait-for-graph metadata: a task blocked on this receive waits on
+    # the source rank (unknown for MPI_ANY_SOURCE).
+    handle.flag.rank_dep = (None if source_world == ANY_SOURCE
+                            else source_world)
+    handle.flag.dep_describe = (
+        f"recv source={'ANY' if source_world == ANY_SOURCE else source_world}"
+        f" tag={'ANY' if tag == ANY_TAG else tag} ctx={context_id}")
+    checker = env.process.engine.checker
+    if checker.enabled and entry is not None:
+        checker.on_match(entry.envelope, env.rank)
     if entry is None:
         env.progress.posted.post(handle)
         request = RecvRequest(handle, comm)

@@ -275,6 +275,11 @@ class CPU:
         ready = self._ready
         engine = self.engine
         while self.current is None and ready:
+            if engine.fuzz is not None and len(ready) > 1:
+                # Schedule fuzzing: seeded ready-queue tie-breaking.  Any
+                # rotation is a legal cooperative schedule; MPI semantics
+                # must survive all of them (see repro.check.fuzz).
+                engine.fuzz.perturb_ready(ready)
             task = ready.popleft()
             task._queued = False
             if task.finished:

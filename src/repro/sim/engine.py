@@ -34,6 +34,7 @@ import random
 from collections import deque
 from typing import Any, Callable
 
+from repro.check.checker import NULL_CHECKER, Checker
 from repro.errors import SimulationError
 from repro.sim.metrics import NULL_INSTRUMENTS, Instrumentation
 from repro.sim.trace import NULL_TRACER, Tracer
@@ -111,6 +112,11 @@ class Engine:
         self.tracer = NULL_TRACER
         #: Metrics + tracing facade (off by default; see repro.sim.metrics).
         self.instruments = NULL_INSTRUMENTS
+        #: Online MPI semantics checker (off by default; see repro.check).
+        self.checker = NULL_CHECKER
+        #: Schedule-fuzz perturbations (None = deterministic baseline
+        #: schedule; see repro.check.fuzz.install_fuzz).
+        self.fuzz = None
         #: Root seed for every random decision made inside this simulation.
         self.seed = int(seed)
         self._rngs: dict[str, random.Random] = {}
@@ -138,6 +144,20 @@ class Engine:
         self.instruments = instruments
         self.tracer = instruments.tracer
         return instruments
+
+    def enable_checker(self, raise_on_violation: bool = True) -> Checker:
+        """Install and return the live online semantics checker.
+
+        Every protocol hook in the stack (ADI sends/matches, ch_mad
+        packet handlers, Madeleine transmissions, the reliable transport,
+        MPI_Finalize) starts shadow-checking its invariants; violations
+        raise :class:`~repro.errors.CheckViolation` (or, with
+        ``raise_on_violation=False``, accumulate in
+        ``checker.violations``).
+        """
+        checker = Checker(self, raise_on_violation=raise_on_violation)
+        self.checker = checker
+        return checker
 
     def enable_tracing(self) -> Tracer:
         """Install full instrumentation; return its live Tracer.

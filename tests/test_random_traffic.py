@@ -12,7 +12,9 @@ from collections import defaultdict
 
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster import MPIWorld
+from repro.cluster import ClusterConfig, MPIWorld
+from repro.faults import lossy_plan
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from tests.helpers import linear_cluster
 
 #: Sizes straddling the SCI switch point (8 KB): eager and rendezvous mix.
@@ -120,3 +122,95 @@ def test_random_schedules_respect_mpi_ordering(schedule):
             expected_data = (mid, size) if size > 0 else None
             assert data == expected_data, f"reordering on {key}"
             assert count == size
+
+
+@st.composite
+def wildcard_schedules(draw):
+    """Random traffic plus collectives, wildcards and optional loss."""
+    nranks = draw(st.integers(2, 4))
+    nmessages = draw(st.integers(1, 10))
+    messages = []
+    for i in range(nmessages):
+        src = draw(st.integers(0, nranks - 1))
+        dst = draw(st.integers(0, nranks - 1).filter(lambda d: d != src))
+        tag = draw(st.integers(0, 2))
+        size = draw(st.sampled_from(SIZES))
+        mode = draw(st.sampled_from(["send", "isend", "ssend"]))
+        messages.append((src, dst, tag, size, mode, i))
+    wildcard_ranks = frozenset(draw(st.sets(st.integers(0, nranks - 1))))
+    lossy = draw(st.booleans())
+    fault_seed = draw(st.integers(0, 10**6))
+    return nranks, messages, wildcard_ranks, lossy, fault_seed
+
+
+@given(wildcard_schedules())
+@settings(max_examples=15, deadline=None)
+def test_wildcards_and_collectives_run_checker_clean(schedule):
+    """ANY_SOURCE/ANY_TAG + collectives + (sometimes) lossy fabrics.
+
+    The oracle is weaker than the FIFO test above — with wildcards,
+    which receive catches which message is schedule-dependent — so each
+    rank returns the *multiset* of deliveries, which must match the
+    schedule exactly.  The online checker runs throughout: overtaking,
+    handshake misordering, duplicate deliveries past the transport
+    dedup, or anything leaked at finalize fails the test even though
+    the multiset oracle cannot see it.
+    """
+    nranks, messages, wildcard_ranks, lossy, fault_seed = schedule
+    config = linear_cluster(nranks, networks=("sisci",))
+    if lossy:
+        config = ClusterConfig(nodes=config.nodes,
+                               fault_plan=lossy_plan(0.03, seed=fault_seed))
+    world = MPIWorld(config)
+    checker = world.engine.enable_checker()
+
+    def program(mpi):
+        from repro.mpi import point2point as _p2p
+        comm = mpi.comm_world
+        me = comm.rank
+
+        # Collectives share the wire with the p2p storm (their hidden
+        # context keeps wildcards from stealing their traffic).
+        total = yield from comm.allreduce(me + 1)
+        everyone = yield from comm.allgather(me)
+
+        requests = []
+        for src, dst, tag, size, mode, mid in messages:
+            if dst != me:
+                continue
+            if me in wildcard_ranks:
+                requests.append(comm.irecv(source=ANY_SOURCE, tag=ANY_TAG))
+            else:
+                requests.append(comm.irecv(source=src, tag=tag))
+
+        pending = []
+        for src, dst, tag, size, mode, mid in messages:
+            if src != me:
+                continue
+            payload = (mid, size)
+            if mode == "send":
+                yield from comm.send(payload, dest=dst, tag=tag, size=size)
+            elif mode == "ssend":
+                yield from comm.ssend(payload, dest=dst, tag=tag, size=size)
+            else:
+                pending.append(comm.isend(payload, dest=dst, tag=tag,
+                                          size=size))
+
+        got = []
+        for request in requests:
+            data, status = yield from _p2p.recv_wait(comm, request)
+            got.append((status.source, status.tag, data))
+        for request in pending:
+            yield from request.wait()
+        yield from comm.barrier()
+        return (total, tuple(everyone), sorted(got, key=repr))
+
+    results = world.run(program)
+    assert checker.violations == []
+    for me, (total, everyone, got) in enumerate(results):
+        assert total == sum(range(1, nranks + 1))
+        assert everyone == tuple(range(nranks))
+        want = sorted(((src, tag, (mid, size) if size > 0 else None)
+                       for src, dst, tag, size, mode, mid in messages
+                       if dst == me), key=repr)
+        assert got == want, f"delivery multiset mismatch on rank {me}"
