@@ -1,62 +1,31 @@
 #!/usr/bin/env python
 """Reproduce every table and figure of the paper in one run.
 
-Prints paper-vs-measured rows for Tables 1 and 2 and the full data
-series behind Figures 6-9.  This is the script that generated the
-numbers recorded in EXPERIMENTS.md.
+Deprecated entry point: this script now delegates to the consolidated
+CLI — use ``python -m repro report`` directly (it accepts the same
+targets, plus ``--workers N`` to fan measurements out across processes
+and ``--cache DIR`` to reuse previous results):
 
-Run:  python examples/reproduce_paper.py            # everything (~1 min)
-      python examples/reproduce_paper.py tables      # just the tables
-      python examples/reproduce_paper.py fig7 fig9   # a subset
+    python -m repro report              # everything (~1 min)
+    python -m repro report tables       # just the tables
+    python -m repro report fig7 fig9    # a subset
 """
 
 import sys
-import time
+import warnings
 
-from repro.bench import figures
-from repro.bench.report import format_paper_checks
-
-
-def run_tables():
-    print(format_paper_checks(figures.table1_checks(),
-                              "Table 1: raw Madeleine (latency @4 B, "
-                              "bandwidth @8 MB)"))
-    print()
-    print(format_paper_checks(figures.table2_checks(),
-                              "Table 2: ch_mad summary (0 B / 4 B latency, "
-                              "8 MB bandwidth)"))
-    print()
-
-
-def run_figure(builder):
-    data = builder()
-    print(data.render())
-    print()
-
-
-ALL = {
-    "tables": run_tables,
-    "fig6": lambda: run_figure(figures.figure6_tcp),
-    "fig7": lambda: run_figure(figures.figure7_sci),
-    "fig8": lambda: run_figure(figures.figure8_myrinet),
-    "fig9": lambda: run_figure(figures.figure9_multiprotocol),
-}
+from repro.cli import main as cli_main
 
 
 def main():
-    targets = sys.argv[1:] or list(ALL)
-    unknown = [t for t in targets if t not in ALL]
-    if unknown:
-        raise SystemExit(f"unknown targets {unknown}; pick from {list(ALL)}")
-    start = time.time()
-    for target in targets:
-        print(f"### {target} " + "#" * (60 - len(target)))
-        ALL[target]()
-    print(f"(wall time: {time.time() - start:.1f} s — every number above "
-          "came out of the discrete-event simulation, except the four "
-          "closed-source comparators, which are analytic curves "
-          "calibrated to the paper's own figures)")
+    warnings.warn(
+        "examples/reproduce_paper.py is deprecated; use "
+        "`python -m repro report` (same targets, plus --workers/--cache)",
+        DeprecationWarning, stacklevel=2)
+    return cli_main(["report", *sys.argv[1:]])
 
 
 if __name__ == "__main__":
-    main()
+    status = main()
+    if status:  # plain return on success keeps runpy-based smoke tests quiet
+        raise SystemExit(status)

@@ -19,6 +19,10 @@ deterministic discrete-event cluster simulator:
   comparators (ScaMPI, SCI-MPICH, MPI-GM, MPICH-PM).
 - :mod:`repro.bench` — the mpptest-equivalent measurement harness and the
   per-figure/table experiment drivers.
+- :mod:`repro.runner` — batch execution: serializable job specs, a
+  content-addressed result cache, and a process-pool runner.
+- :mod:`repro.cli` — the consolidated ``python -m repro`` entry point
+  (``run`` / ``sweep`` / ``fuzz`` / ``report``).
 
 Quickstart::
 

@@ -19,24 +19,32 @@ costs:
 All draws come from :meth:`Engine.rng` namespaces under
 ``fuzz/{seed}/…``, so one fuzz seed reproduces one schedule exactly:
 
-    python -m repro.check.fuzz --workload mixed --seed 17
+    python -m repro fuzz --workload mixed --seed 17
 
-The sweep harness (:func:`run_sweep`, also the ``__main__`` CLI) runs
-the :mod:`repro.check.workloads` programs across many fuzz seeds with
-the online checker enabled, and fails a seed when a checker invariant
+The sweep harness (:func:`run_sweep`) runs the
+:mod:`repro.check.workloads` programs across many fuzz seeds with the
+online checker enabled, and fails a seed when a checker invariant
 trips, the run deadlocks, or the user-visible results differ from the
-other seeds' — printing the one-line repro command above.
+other seeds' — printing the one-line repro command above.  Each
+``(workload, seed)`` pair is one :class:`~repro.runner.spec.JobSpec`
+(kind ``fuzz_workload``) executed through the batch
+:class:`~repro.runner.runner.Runner`, so sweeps parallelize across
+worker processes and cache their per-seed results content-addressed.
+
+The module CLI (``python -m repro.check.fuzz``) is a deprecated shim
+over ``python -m repro fuzz``.
 """
 
 from __future__ import annotations
 
-import argparse
 import os
+import warnings
 from dataclasses import dataclass
 from hashlib import sha256
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.sim.engine import EngineConfig, seed_namespace
 
 _READY_RATE = 0.25
 _SPAWN_JITTER_NS = 2_000
@@ -57,9 +65,9 @@ class ScheduleFuzz:
         #: Number of perturbations actually applied (diagnostic; two
         #: seeds producing different interleavings usually differ here).
         self.decisions = 0
-        base = f"fuzz/{self.seed}"
-        self._ready_rng = engine.rng(f"{base}/ready")
-        self._spawn_rng = engine.rng(f"{base}/spawn")
+        base = seed_namespace("fuzz", self.seed)
+        self._ready_rng = engine.rng(seed_namespace(base, "ready"))
+        self._spawn_rng = engine.rng(seed_namespace(base, "spawn"))
 
     def perturb_ready(self, ready) -> None:
         """Maybe rotate a multi-entry ready deque (dispatch tie-break)."""
@@ -77,7 +85,7 @@ class ScheduleFuzz:
     def poller_phase(self, name: str) -> int:
         """Phase offset for periodic poller ``name`` (drawn per name, so
         poller construction order cannot shift the streams)."""
-        rng = self.engine.rng(f"fuzz/{self.seed}/phase/{name}")
+        rng = self.engine.rng(seed_namespace("fuzz", self.seed, "phase", name))
         offset = rng.randrange(self.poller_phase_ns + 1)
         if offset:
             self.decisions += 1
@@ -125,7 +133,7 @@ class WorkloadRun:
 
     @property
     def repro(self) -> str:
-        cmd = (f"python -m repro.check.fuzz --workload {self.workload} "
+        cmd = (f"python -m repro fuzz --workload {self.workload} "
                f"--seed {self.fuzz_seed}")
         if self.workload_seed:
             cmd += f" --workload-seed {self.workload_seed}"
@@ -141,14 +149,12 @@ def run_workload(name: str, fuzz_seed: int | None, *, workload_seed: int = 0,
     from repro.cluster.session import MPIWorld
 
     config, program = WORKLOADS[name].build(workload_seed)
-    world = MPIWorld(config)
-    ins = world.engine.enable_instrumentation()
-    checker = None
-    if check:
-        checker = world.engine.enable_checker(
-            raise_on_violation=raise_on_violation)
-    if fuzz_seed is not None:
-        install_fuzz(world.engine, fuzz_seed, **(fuzz_params or {}))
+    world = MPIWorld(config, engine_config=EngineConfig(
+        instrumentation=True, checker=check,
+        checker_raise=raise_on_violation, fuzz_seed=fuzz_seed,
+        fuzz_params=fuzz_params or {}))
+    ins = world.engine.instruments
+    checker = world.engine.checker if check else None
     run = WorkloadRun(name, fuzz_seed, workload_seed)
     try:
         run.results = world.run(program)
@@ -178,60 +184,102 @@ class FuzzFailure:
     artifact: str | None = None
 
 
-def _write_artifact(directory: str, run: WorkloadRun,
+def sweep_jobs(workloads: Sequence[str], seeds: Iterable[int], *,
+               workload_seed: int = 0) -> list:
+    """One ``fuzz_workload`` :class:`JobSpec` per (workload, fuzz seed)."""
+    from repro.runner import JobSpec
+
+    return [
+        JobSpec(kind="fuzz_workload",
+                params={"workload": name, "fuzz_seed": seed,
+                        "workload_seed": workload_seed, "check": True},
+                label=f"fuzz:{name}:seed{seed}")
+        for name in workloads for seed in seeds
+    ]
+
+
+def _write_artifact(directory: str, payload: Mapping[str, Any],
                     failure: FuzzFailure) -> str:
     os.makedirs(directory, exist_ok=True)
-    path = os.path.join(directory,
-                        f"{run.workload}-seed{run.fuzz_seed}.txt")
+    trace = payload.get("trace") or ()
+    path = os.path.join(
+        directory, f"{failure.workload}-seed{failure.fuzz_seed}.txt")
     with open(path, "w") as fh:
-        fh.write(f"workload:  {run.workload}\n"
-                 f"fuzz seed: {run.fuzz_seed}\n"
+        fh.write(f"workload:  {failure.workload}\n"
+                 f"fuzz seed: {failure.fuzz_seed}\n"
                  f"kind:      {failure.kind}\n"
                  f"detail:    {failure.detail}\n"
                  f"REPRO:     {failure.repro}\n\n"
-                 f"trace ({len(run.trace_records)} records):\n")
-        for rec in run.trace_records:
-            fh.write(f"  {rec.time} {rec.category} "
-                     f"{sorted(rec.fields.items())}\n")
+                 f"trace ({len(trace)} records):\n")
+        for line in trace:
+            fh.write(f"  {line}\n")
+        if not trace:
+            fh.write("  (run the REPRO command above for the full trace)\n")
     return path
 
 
 def run_sweep(workloads: Sequence[str], seeds: Iterable[int], *,
               workload_seed: int = 0, artifacts_dir: str | None = None,
-              out: Callable[[str], None] = print) -> list[FuzzFailure]:
+              out: Callable[[str], None] = print, workers: int = 1,
+              cache=None,
+              progress: Callable[[str], None] | None = None
+              ) -> list[FuzzFailure]:
     """Run each workload across every fuzz seed; return the failures.
 
     A seed fails when the run raises (checker violation, deadlock, any
     :class:`~repro.errors.ReproError`) or when its user-visible results
     differ from the first seed's — the results of a correct MPI program
     must not depend on which legal schedule the fuzzer picked.
+
+    The (workload, seed) grid is executed through the batch
+    :class:`~repro.runner.runner.Runner`: ``workers > 1`` fans seeds out
+    across processes, ``cache`` (a directory or
+    :class:`~repro.runner.cache.ResultCache`) makes re-sweeps of
+    already-seen seeds instant.  Results and failure reports are
+    identical whichever way the grid was executed.
     """
-    failures: list[FuzzFailure] = []
+    from repro.runner import Runner
+
     seeds = list(seeds)
+    workloads = list(workloads)
+    specs = sweep_jobs(workloads, seeds, workload_seed=workload_seed)
+    runner = Runner(workers=workers, cache=cache, out=progress)
+    payloads = {}
+    for spec, result in zip(specs, runner.run(specs)):
+        if not result.ok:  # infrastructure failure, not a checker verdict
+            raise ReproError(
+                f"fuzz job {spec.display} failed to execute: {result.error}")
+        payloads[(spec.params["workload"], spec.params["fuzz_seed"])] = \
+            result.payload
+
+    failures: list[FuzzFailure] = []
     for name in workloads:
-        baseline: WorkloadRun | None = None
+        baseline: Mapping[str, Any] | None = None
         for seed in seeds:
-            run = run_workload(name, seed, workload_seed=workload_seed)
+            payload = payloads[(name, seed)]
             failure = None
-            if run.error is not None:
+            if not payload["ok"]:
                 failure = FuzzFailure(
                     name, seed, "violation",
-                    f"{type(run.error).__name__}: {run.error}", run.repro)
+                    f"{payload['error_type']}: {payload['error']}",
+                    payload["repro"])
             elif baseline is None:
-                baseline = run
-            elif run.results != baseline.results:
+                baseline = payload
+            elif payload["results_repr"] != baseline["results_repr"]:
                 failure = FuzzFailure(
                     name, seed, "results-diverge",
                     f"user-visible results changed with the schedule "
-                    f"(fuzz seed {seed} vs {baseline.fuzz_seed}): "
-                    f"{run.results!r} != {baseline.results!r}",
-                    run.repro)
+                    f"(fuzz seed {seed} vs {baseline['fuzz_seed']}): "
+                    f"{payload['results_repr']} != "
+                    f"{baseline['results_repr']}",
+                    payload["repro"])
             if failure is None:
-                out(f"ok   {name} seed={seed} t={run.time_ns}ns "
-                    f"decisions={run.decisions} digest={run.digest[:12]}")
+                out(f"ok   {name} seed={seed} t={payload['time_ns']}ns "
+                    f"decisions={payload['decisions']} "
+                    f"digest={payload['digest'][:12]}")
                 continue
             if artifacts_dir:
-                failure.artifact = _write_artifact(artifacts_dir, run,
+                failure.artifact = _write_artifact(artifacts_dir, payload,
                                                    failure)
             failures.append(failure)
             out(f"FAIL {name} seed={seed}: {failure.detail}")
@@ -242,50 +290,26 @@ def run_sweep(workloads: Sequence[str], seeds: Iterable[int], *,
 
 
 # ---------------------------------------------------------------------------
-# CLI
+# CLI (deprecated shim over `python -m repro fuzz`)
 # ---------------------------------------------------------------------------
 
 def main(argv: Sequence[str] | None = None) -> int:
-    from repro.check.workloads import WORKLOADS
+    """Deprecated: ``python -m repro.check.fuzz`` → ``python -m repro fuzz``.
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.check.fuzz",
-        description="Fuzz MPI schedules under the online semantics checker.")
-    parser.add_argument("--workload", action="append", dest="workloads",
-                        choices=sorted(WORKLOADS),
-                        help="workload(s) to run (default: all)")
-    parser.add_argument("--seed", type=int, default=None,
-                        help="run this single fuzz seed (repro mode)")
-    parser.add_argument("--seeds", type=int, default=25,
-                        help="sweep this many fuzz seeds (default 25)")
-    parser.add_argument("--base-seed", type=int, default=0,
-                        help="first fuzz seed of the sweep (default 0)")
-    parser.add_argument("--workload-seed", type=int, default=0,
-                        help="seed for the workload's own traffic schedule")
-    parser.add_argument("--artifacts", default=None, metavar="DIR",
-                        help="write a trace artifact per failure into DIR")
-    parser.add_argument("--list", action="store_true",
-                        help="list bundled workloads and exit")
-    args = parser.parse_args(argv)
+    Same flags, same output, same exit codes — the consolidated CLI's
+    fuzz subcommand grew out of this one.
+    """
+    import sys
 
-    if args.list:
-        for workload in WORKLOADS.values():
-            print(f"{workload.name:12s} {workload.description}")
-        return 0
+    from repro.cli import main as cli_main
 
-    workloads = args.workloads or sorted(WORKLOADS)
-    if args.seed is not None:
-        seeds: Sequence[int] = [args.seed]
-    else:
-        seeds = range(args.base_seed, args.base_seed + args.seeds)
-    failures = run_sweep(workloads, seeds, workload_seed=args.workload_seed,
-                         artifacts_dir=args.artifacts)
-    total = len(workloads) * len(list(seeds))
-    if failures:
-        print(f"\n{len(failures)}/{total} runs failed")
-        return 1
-    print(f"\nall {total} runs clean")
-    return 0
+    warnings.warn(
+        "`python -m repro.check.fuzz` is deprecated; use "
+        "`python -m repro fuzz` (same options)",
+        DeprecationWarning, stacklevel=2)
+    if argv is None:
+        argv = sys.argv[1:]
+    return cli_main(["fuzz", *argv])
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from typing import Any, Callable, Generator
 
 from repro.cluster.node import ClusterConfig, NodeSpec
 from repro.faults import lossy_plan
+from repro.sim.engine import seed_namespace
 from repro.mpi.algorithms import (
     ALLREDUCE_ALGORITHMS,
     BCAST_ALGORITHMS,
@@ -138,7 +139,7 @@ _SIZES = (0, 4, 512, 8192, 9000, 60_000)
 
 
 def _mixed_schedule(workload_seed: int, nranks: int, nmessages: int):
-    rng = random.Random(f"mixed-workload/{workload_seed}")
+    rng = random.Random(seed_namespace("mixed-workload", workload_seed))
     messages = []
     for mid in range(nmessages):
         src = rng.randrange(nranks)

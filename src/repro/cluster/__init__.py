@@ -12,6 +12,7 @@
 
 from repro.cluster.node import ClusterConfig, NodeSpec
 from repro.cluster.session import MPIWorld
+from repro.sim.engine import EngineConfig
 from repro.cluster.config import (
     cluster_of_clusters,
     paper_cluster,
@@ -21,6 +22,7 @@ from repro.cluster.config import (
 
 __all__ = [
     "ClusterConfig",
+    "EngineConfig",
     "MPIWorld",
     "NodeSpec",
     "cluster_of_clusters",

@@ -30,7 +30,7 @@ from repro.mpi.devices.smp_plug import SmpPlugDevice
 from repro.mpi.environment import MPIEnv
 from repro.cluster.node import ClusterConfig
 from repro.networks.memory import MemoryModel
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EngineConfig
 
 #: A program is a callable taking the rank's MPIEnv and returning a
 #: generator coroutine.
@@ -40,9 +40,16 @@ Program = Callable[[MPIEnv], Generator]
 class MPIWorld:
     """One MPI job on one simulated cluster."""
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(self, config: ClusterConfig,
+                 engine_config: EngineConfig | None = None):
         self.config = config
-        self.session = MadeleineSession(fault_plan=config.fault_plan,
+        #: One declarative object configures everything optional about
+        #: the engine (seed, instrumentation, checker, fuzzing, trace
+        #: sink) — see :class:`~repro.sim.engine.EngineConfig`.
+        self.engine_config = engine_config
+        engine = Engine(config=engine_config) if engine_config else None
+        self.session = MadeleineSession(engine=engine,
+                                        fault_plan=config.fault_plan,
                                         reliable=config.reliable)
         self.engine: Engine = self.session.engine
         self.envs: list[MPIEnv] = []
@@ -224,6 +231,10 @@ class MPIWorld:
         for env in self.envs:
             env.shutdown()
         self.engine.run()
+        cfg = self.engine_config
+        if cfg is not None and cfg.trace_sink \
+                and self.engine.instruments.enabled:
+            self.engine.instruments.export_chrome_trace(cfg.trace_sink)
 
     @property
     def world_size(self) -> int:

@@ -31,7 +31,14 @@ from repro.sim.coroutines import (
     yield_cpu,
 )
 from repro.sim.cpu import CPU, Task, TaskState
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import (
+    Engine,
+    EngineConfig,
+    Event,
+    install_checker,
+    install_instrumentation,
+    seed_namespace,
+)
 from repro.sim.metrics import (
     Counter,
     Gauge,
@@ -55,6 +62,7 @@ __all__ = [
     "Condition",
     "Counter",
     "Engine",
+    "EngineConfig",
     "Event",
     "Flag",
     "Gauge",
@@ -75,7 +83,10 @@ __all__ = [
     "YieldCPU",
     "charge",
     "clock_sleep",
+    "install_checker",
+    "install_instrumentation",
     "now",
+    "seed_namespace",
     "sleep",
     "wait",
     "yield_cpu",

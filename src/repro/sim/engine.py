@@ -31,13 +31,91 @@ from __future__ import annotations
 
 import heapq
 import random
+import warnings
 from collections import deque
-from typing import Any, Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 
 from repro.check.checker import NULL_CHECKER, Checker
 from repro.errors import SimulationError
 from repro.sim.metrics import NULL_INSTRUMENTS, Instrumentation
 from repro.sim.trace import NULL_TRACER, Tracer
+
+
+def seed_namespace(*parts: Any) -> str:
+    """Canonical ``/``-joined RNG namespace string.
+
+    Every seeded stream in the repository derives its namespace through
+    this one helper — :meth:`Engine.rng`, the schedule fuzzer's
+    ``fuzz/{seed}/…`` streams, the randomized workloads — so namespace
+    derivation cannot silently drift between subsystems (it used to be
+    re-implemented with f-strings at each site).
+    """
+    return "/".join(str(part) for part in parts)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything optional about an engine, in one declarative object.
+
+    Replaces the scattered per-feature enablement calls
+    (``enable_checker`` / ``enable_instrumentation`` / ``install_fuzz``
+    wiring) with a single serializable configuration accepted by
+    :class:`Engine` and :class:`~repro.cluster.session.MPIWorld`::
+
+        world = MPIWorld(cluster, engine_config=EngineConfig(
+            instrumentation=True, checker=True, fuzz_seed=17))
+
+    ``trace_sink`` names a file path; when set, instrumentation is
+    implied and :meth:`MPIWorld.shutdown` exports the Chrome trace there.
+    """
+
+    #: Root seed for every engine RNG namespace (:meth:`Engine.rng`).
+    seed: int = 0
+    #: Install the metrics/tracing facade (:mod:`repro.sim.metrics`).
+    instrumentation: bool = False
+    #: Install the online MPI semantics checker (:mod:`repro.check`).
+    checker: bool = False
+    #: Raise on the first checker violation (else accumulate).
+    checker_raise: bool = True
+    #: Install the schedule fuzzer with this seed (None = baseline).
+    fuzz_seed: int | None = None
+    #: Extra :class:`~repro.check.fuzz.ScheduleFuzz` parameters.
+    fuzz_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Chrome-trace export path, written at MPI_Finalize (implies
+    #: ``instrumentation``).
+    trace_sink: str | None = None
+
+    @property
+    def wants_instrumentation(self) -> bool:
+        return self.instrumentation or self.trace_sink is not None
+
+
+def install_instrumentation(engine: "Engine") -> Instrumentation:
+    """Install and return a live metrics/tracing facade on ``engine``.
+
+    The facade's tracer also becomes ``engine.tracer``, so one call
+    turns on both the typed instruments and the record stream.
+    """
+    instruments = Instrumentation(engine)
+    engine.instruments = instruments
+    engine.tracer = instruments.tracer
+    return instruments
+
+
+def install_checker(engine: "Engine",
+                    raise_on_violation: bool = True) -> Checker:
+    """Install and return the live online semantics checker on ``engine``.
+
+    Every protocol hook in the stack (ADI sends/matches, ch_mad packet
+    handlers, Madeleine transmissions, the reliable transport,
+    MPI_Finalize) starts shadow-checking its invariants; violations
+    raise :class:`~repro.errors.CheckViolation` (or, with
+    ``raise_on_violation=False``, accumulate in ``checker.violations``).
+    """
+    checker = Checker(engine, raise_on_violation=raise_on_violation)
+    engine.checker = checker
+    return checker
 
 
 class Event:
@@ -90,7 +168,13 @@ _POOL_MAX = 1024
 class Engine:
     """Priority-queue event loop over integer-nanosecond virtual time."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *,
+                 config: EngineConfig | None = None) -> None:
+        if config is not None:
+            seed = config.seed
+        #: The declarative configuration this engine was built from
+        #: (None when constructed through the bare ``Engine(seed)`` path).
+        self.config = config
         self._now: int = 0
         self._seq: int = 0
         #: Timed events as (time, seq, Event) heap entries.
@@ -120,6 +204,24 @@ class Engine:
         #: Root seed for every random decision made inside this simulation.
         self.seed = int(seed)
         self._rngs: dict[str, random.Random] = {}
+        if config is not None:
+            self.apply_config(config)
+
+    def apply_config(self, config: EngineConfig) -> "Engine":
+        """Install whatever ``config`` asks for; returns ``self``.
+
+        This is the one enablement path — the legacy ``enable_*``
+        methods are deprecation shims over it.
+        """
+        self.config = config
+        if config.wants_instrumentation:
+            install_instrumentation(self)
+        if config.checker:
+            install_checker(self, raise_on_violation=config.checker_raise)
+        if config.fuzz_seed is not None:
+            from repro.check.fuzz import install_fuzz
+            install_fuzz(self, config.fuzz_seed, **dict(config.fuzz_params))
+        return self
 
     def rng(self, namespace: str = "") -> random.Random:
         """The engine-owned RNG for ``namespace``, seeded from the root seed.
@@ -131,41 +233,44 @@ class Engine:
         """
         gen = self._rngs.get(namespace)
         if gen is None:
-            gen = self._rngs[namespace] = random.Random(f"{self.seed}/{namespace}")
+            gen = self._rngs[namespace] = random.Random(
+                seed_namespace(self.seed, namespace))
         return gen
 
-    def enable_instrumentation(self) -> Instrumentation:
-        """Install and return a live metrics/tracing facade.
+    # -- legacy enablement shims ------------------------------------------
+    #
+    # The per-feature enable_* methods predate EngineConfig; they keep
+    # working (tests and downstream scripts rely on them) but warn so
+    # new code converges on the declarative configuration.
 
-        The facade's tracer also becomes :attr:`tracer`, so one call
-        turns on both the typed instruments and the record stream.
-        """
-        instruments = Instrumentation(self)
-        self.instruments = instruments
-        self.tracer = instruments.tracer
-        return instruments
+    def enable_instrumentation(self) -> Instrumentation:
+        """Deprecated: use ``EngineConfig(instrumentation=True)`` or
+        :func:`install_instrumentation`."""
+        warnings.warn(
+            "Engine.enable_instrumentation() is deprecated; pass "
+            "EngineConfig(instrumentation=True) to the Engine/MPIWorld "
+            "constructor (or call repro.sim.engine.install_instrumentation)",
+            DeprecationWarning, stacklevel=2)
+        return install_instrumentation(self)
 
     def enable_checker(self, raise_on_violation: bool = True) -> Checker:
-        """Install and return the live online semantics checker.
-
-        Every protocol hook in the stack (ADI sends/matches, ch_mad
-        packet handlers, Madeleine transmissions, the reliable transport,
-        MPI_Finalize) starts shadow-checking its invariants; violations
-        raise :class:`~repro.errors.CheckViolation` (or, with
-        ``raise_on_violation=False``, accumulate in
-        ``checker.violations``).
-        """
-        checker = Checker(self, raise_on_violation=raise_on_violation)
-        self.checker = checker
-        return checker
+        """Deprecated: use ``EngineConfig(checker=True)`` or
+        :func:`install_checker`."""
+        warnings.warn(
+            "Engine.enable_checker() is deprecated; pass "
+            "EngineConfig(checker=True) to the Engine/MPIWorld constructor "
+            "(or call repro.sim.engine.install_checker)",
+            DeprecationWarning, stacklevel=2)
+        return install_checker(self, raise_on_violation=raise_on_violation)
 
     def enable_tracing(self) -> Tracer:
-        """Install full instrumentation; return its live Tracer.
-
-        Kept for the record-stream-only API; equivalent to
-        ``enable_instrumentation().tracer``.
-        """
-        return self.enable_instrumentation().tracer
+        """Deprecated: the record-stream-only spelling of
+        ``EngineConfig(instrumentation=True)``; returns the live Tracer."""
+        warnings.warn(
+            "Engine.enable_tracing() is deprecated; pass "
+            "EngineConfig(instrumentation=True) and read engine.tracer",
+            DeprecationWarning, stacklevel=2)
+        return install_instrumentation(self).tracer
 
     # -- clock ------------------------------------------------------------
 

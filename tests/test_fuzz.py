@@ -143,7 +143,7 @@ def test_sweep_reports_violation_with_repro_line(tmp_path):
     failure = failures[0]
     assert failure.kind == "violation"
     assert "finalize-leak" in failure.detail
-    assert failure.repro == ("python -m repro.check.fuzz "
+    assert failure.repro == ("python -m repro fuzz "
                              "--workload leaky --seed 4")
     assert any(line.startswith("REPRO: ") for line in lines)
     artifact = tmp_path / "leaky-seed4.txt"
