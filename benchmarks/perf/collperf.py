@@ -1,0 +1,153 @@
+"""Collective-algorithm sweep: flat vs hierarchical vs multi-lane.
+
+Runs :func:`repro.bench.collectives.collective_bench` over a grid of
+rank counts and registered algorithms through the batch runner (so the
+sweep parallelizes across worker processes and re-runs answer from the
+content-addressed cache), then enforces the node-aware acceptance
+criterion: **hierarchical allreduce must beat the flat default at every
+rank count >= 64** on the 2-rails-per-node SMP cluster.
+
+All numbers are *virtual* nanoseconds from the deterministic simulator,
+so a baseline comparison is exact: any drift from the committed
+``BENCH_collectives.json`` means the collective traffic itself changed,
+not the machine the benchmark ran on.
+
+Usage::
+
+    python benchmarks/perf/collperf.py --output BENCH_collectives.json
+    python benchmarks/perf/collperf.py --quick --baseline BENCH_collectives.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import JobSpec, Runner  # noqa: E402
+
+RANKS = (64, 128, 256, 512)
+QUICK_RANKS = (64, 128)
+ALGORITHMS = ("default", "hier", "multilane")
+SIZE = 65536  # 64 KiB payload: comfortably in rendez-vous territory
+
+
+def sweep_specs(ranks: tuple[int, ...], size: int = SIZE) -> list[JobSpec]:
+    return [
+        JobSpec(kind="coll_bench",
+                params={"operation": "allreduce", "algorithm": algorithm,
+                        "ranks": n, "processes_per_node": 2, "rails": 2,
+                        "size": size, "reps": 3, "warmup": 1},
+                label=f"allreduce/{algorithm}@{n}")
+        for n in ranks
+        for algorithm in ALGORITHMS
+    ]
+
+
+def run_sweep(ranks: tuple[int, ...], workers: int,
+              cache: str | None) -> list[dict]:
+    runner = Runner(workers=workers, cache=cache, out=print)
+    results = runner.run(sweep_specs(ranks))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        for r in failed:
+            print(f"FAIL: {r.spec.display}: {r.error}")
+        raise SystemExit(1)
+    return [r.payload for r in results]
+
+
+def check_hier_wins(points: list[dict]) -> list[str]:
+    """The acceptance criterion: hier < default at every ranks level."""
+    by_key = {(p["ranks"], p["algorithm"]): p["mean_ns"] for p in points}
+    problems = []
+    for n in sorted({p["ranks"] for p in points}):
+        default = by_key.get((n, "default"))
+        hier = by_key.get((n, "hier"))
+        if default is None or hier is None:
+            continue
+        if hier >= default:
+            problems.append(
+                f"hier allreduce ({hier:.0f} ns) does not beat the flat "
+                f"default ({default:.0f} ns) at {n} ranks")
+    return problems
+
+
+def check_baseline(points: list[dict], baseline: dict) -> list[str]:
+    """Virtual times are deterministic — the comparison is exact."""
+    base = {(p["ranks"], p["algorithm"]): p["mean_ns"]
+            for p in baseline.get("points", [])}
+    problems = []
+    for p in points:
+        key = (p["ranks"], p["algorithm"])
+        if key in base and base[key] != p["mean_ns"]:
+            problems.append(
+                f"allreduce/{p['algorithm']}@{p['ranks']}: mean "
+                f"{p['mean_ns']:.0f} ns differs from baseline "
+                f"{base[key]:.0f} ns (virtual time is deterministic; "
+                f"the collective's traffic changed)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the record as JSON to this path")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_collectives.json to compare "
+                             "against (exact virtual-time match)")
+    parser.add_argument("--quick", action="store_true",
+                        help="64/128 ranks only (CI smoke)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="runner worker processes (default 4)")
+    parser.add_argument("--cache", default=None,
+                        help="content-addressed result cache directory")
+    args = parser.parse_args(argv)
+
+    ranks = QUICK_RANKS if args.quick else RANKS
+    points = run_sweep(ranks, workers=args.workers, cache=args.cache)
+
+    record = {
+        "schema": "collperf/1",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "cluster": {"processes_per_node": 2, "rails": 2, "network": "sisci"},
+        "points": points,
+    }
+
+    problems = check_hier_wins(points)
+    if args.baseline:
+        problems += check_baseline(
+            points, json.loads(Path(args.baseline).read_text()))
+
+    for n in sorted({p["ranks"] for p in points}):
+        row = {p["algorithm"]: p["mean_ns"] for p in points
+               if p["ranks"] == n}
+        default = row.get("default")
+        summary = "  ".join(
+            f"{alg}={row[alg] / 1e6:.3f}ms"
+            + (f" ({default / row[alg]:.2f}x)" if default and alg != "default"
+               else "")
+            for alg in ALGORITHMS if alg in row)
+        print(f"allreduce @ {n:4d} ranks: {summary}")
+
+    text = json.dumps(record, indent=1, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("collperf: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

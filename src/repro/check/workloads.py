@@ -31,16 +31,22 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+import numpy as np
+
 from repro.cluster.node import ClusterConfig, NodeSpec
 from repro.faults import lossy_plan
 from repro.sim.engine import seed_namespace
-from repro.mpi.algorithms import (
-    ALLREDUCE_ALGORITHMS,
-    BCAST_ALGORITHMS,
-    allgather_bruck,
-)
+from repro.mpi import coll
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.reduce_ops import MAX, SUM
+
+# The flat zoo, fetched from the registry (the historical
+# repro.mpi.algorithms names; that module is now a deprecation shim).
+_BCAST_ZOO = {name: coll.get("bcast", name).fn
+              for name in ("linear", "binomial")}
+_ALLREDUCE_ZOO = {name: coll.get("allreduce", name).fn
+                  for name in ("reduce_bcast", "recursive_doubling")}
+_allgather_bruck = coll.get("allgather", "bruck").fn
 
 #: ``build(workload_seed) -> (config, program)``; ``program(env)`` is a
 #: rank generator whose return value must not depend on the schedule.
@@ -103,14 +109,14 @@ def _build_collectives(workload_seed: int):
         comm = mpi.comm_world
         me = comm.rank
         out = []
-        for name in sorted(BCAST_ALGORITHMS):
+        for name in sorted(_BCAST_ZOO):
             obj = ("payload", 1) if me == 1 else None
-            value = yield from BCAST_ALGORITHMS[name](comm, obj, root=1)
+            value = yield from _BCAST_ZOO[name](comm, obj, root=1)
             out.append((f"bcast:{name}", value))
-        for name in sorted(ALLREDUCE_ALGORITHMS):
-            value = yield from ALLREDUCE_ALGORITHMS[name](comm, me + 1, SUM)
+        for name in sorted(_ALLREDUCE_ZOO):
+            value = yield from _ALLREDUCE_ZOO[name](comm, me + 1, SUM)
             out.append((f"allreduce:{name}", value))
-        value = yield from allgather_bruck(comm, me * 10)
+        value = yield from _allgather_bruck(comm, me * 10)
         out.append(("allgather:bruck", tuple(value)))
         value = yield from comm.allgather(me * 10)
         out.append(("allgather:ring", tuple(value)))
@@ -126,6 +132,75 @@ def _build_collectives(workload_seed: int):
         value = yield from comm.exscan(me + 1)
         out.append(("exscan", value))
         yield from comm.barrier()
+        return tuple(out)
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
+# hier_collectives: node-aware two-level algorithms on SMP nodes
+# ---------------------------------------------------------------------------
+
+def _build_hier_collectives(workload_seed: int):
+    del workload_seed
+    # Four dual-rank SMP nodes: smp_plug inside a node, ch_mad across —
+    # the layering the hierarchical family decomposes over.
+    config = ClusterConfig(nodes=[
+        NodeSpec(f"smp{i}", networks=("sisci", "tcp"), processes=2)
+        for i in range(4)])
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        out = []
+        total = yield from comm.allreduce(me + 1, SUM, algorithm="hier")
+        out.append(("allreduce:hier", total))
+        value = yield from comm.bcast(("blob", 3) if me == 3 else None,
+                                      root=3, algorithm="hier")
+        out.append(("bcast:hier", value))
+        gathered = yield from comm.allgather(me * 7, algorithm="hier")
+        out.append(("allgather:hier", tuple(gathered)))
+        peak = yield from comm.reduce(me, MAX, root=1, algorithm="hier")
+        out.append(("reduce:hier", peak))
+        yield from comm.barrier(algorithm="hier")
+        # Interleave with the flat default: cross-algorithm interference
+        # (stolen matches on the collective context) would trip the
+        # checker or change the result here.
+        total = yield from comm.allreduce(me + 1)
+        out.append(("allreduce:default", total))
+        return tuple(out)
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
+# multilane: payload decomposition across two SCI rails
+# ---------------------------------------------------------------------------
+
+def _build_multilane(workload_seed: int):
+    del workload_seed
+    # Two rails per node: the multi-lane family splits payloads across
+    # them and runs per-lane sub-collectives in temporary threads —
+    # prime spawn-jitter territory for the fuzzer.
+    config = ClusterConfig(nodes=[
+        NodeSpec(f"n{i}", networks=("sisci", "sisci#1")) for i in range(4)])
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        out = []
+        data = np.arange(64, dtype=np.float64) + me
+        total = yield from comm.allreduce(data, SUM, algorithm="multilane")
+        out.append(("allreduce:multilane",
+                    tuple(float(v) for v in total)))
+        blob = (b"stripe" * 20) if me == 0 else None
+        value = yield from comm.bcast(blob, root=0, algorithm="multilane")
+        out.append(("bcast:multilane", value))
+        blocks = yield from comm.allgather(bytes([65 + me]) * 9,
+                                           algorithm="multilane")
+        out.append(("allgather:multilane", tuple(blocks)))
+        total = yield from comm.allreduce(me + 1)  # default, interleaved
+        out.append(("allreduce:default", total))
         return tuple(out)
 
     return config, program
@@ -225,6 +300,10 @@ WORKLOADS: dict[str, Workload] = {
                  _build_pingpong),
         Workload("collectives", "every collective algorithm variant, "
                  "4 ranks on SCI+TCP", _build_collectives),
+        Workload("hier_collectives", "node-aware hierarchical collectives, "
+                 "4 dual-rank SMP nodes on SCI+TCP", _build_hier_collectives),
+        Workload("multilane", "multi-lane collectives over two SCI rails, "
+                 "4 ranks", _build_multilane),
         Workload("mixed", "seeded p2p storm: wildcards, all send modes, "
                  "eager + rendezvous", _build_mixed),
         Workload("lossy", "the mixed storm over lossy fabrics with the "

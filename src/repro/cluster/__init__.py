@@ -15,6 +15,7 @@ from repro.cluster.session import MPIWorld
 from repro.sim.engine import EngineConfig
 from repro.cluster.config import (
     cluster_of_clusters,
+    multirail_smp_cluster,
     paper_cluster,
     smp_node_cluster,
     two_node_cluster,
@@ -26,6 +27,7 @@ __all__ = [
     "MPIWorld",
     "NodeSpec",
     "cluster_of_clusters",
+    "multirail_smp_cluster",
     "paper_cluster",
     "smp_node_cluster",
     "two_node_cluster",

@@ -52,6 +52,21 @@ def smp_node_cluster(nodes: int = 2, processes_per_node: int = 2,
     return ClusterConfig(nodes=specs, device="ch_mad")
 
 
+def multirail_smp_cluster(nodes: int = 4, processes_per_node: int = 2,
+                          rails: int = 2,
+                          network: str = "sisci") -> ClusterConfig:
+    """SMP nodes carrying several boards of one network ("rails":
+    ``sisci``, ``sisci#1``, ...) — the configuration the node-aware and
+    multi-lane collective families exploit."""
+    if rails < 1:
+        raise ValueError(f"need at least one rail, got {rails}")
+    networks = (network,) + tuple(f"{network}#{i}" for i in range(1, rails))
+    specs = [NodeSpec(f"n{i}", networks=networks,
+                      processes=processes_per_node)
+             for i in range(nodes)]
+    return ClusterConfig(nodes=specs, device="ch_mad")
+
+
 def cluster_of_clusters(sci_nodes: int = 2, myrinet_nodes: int = 2,
                         ethernet_everywhere: bool = True) -> ClusterConfig:
     """The paper's motivating meta-cluster (§1): an SCI cluster and a

@@ -1,132 +1,78 @@
-"""Alternative collective algorithms (the MPICH algorithm zoo).
+"""Deprecated: the collective algorithm zoo moved into the registry.
 
-:mod:`repro.mpi.collectives` implements one sensible default per
-operation; this module provides the classic alternatives so their
-trade-offs can be measured on the simulated networks (see
-``benchmarks/test_collective_algorithms.py``):
+The free functions that lived here are now registered implementations
+in :mod:`repro.mpi.coll` (see :mod:`repro.mpi.coll.flat`) and are
+selected by name::
 
-- broadcast: linear (root sends size-1 messages) vs binomial tree;
-- allreduce: reduce+bcast vs recursive doubling;
-- allgather: ring vs Bruck's algorithm (log rounds, large messages).
+    yield from comm.bcast(obj, root=1, algorithm="linear")
+    yield from comm.allreduce(x, algorithm="recursive_doubling")
+    yield from comm.allgather(x, algorithm="bruck")
 
-All variants are drop-in equivalent to the defaults — the equivalence is
-property-tested — and differ only in message schedule, hence in cost.
+or fetched explicitly via ``repro.mpi.coll.get("bcast", "linear").fn``.
+This module keeps the old call shapes working with
+:class:`DeprecationWarning` shims (the same migration pattern as the
+PR-5 ``enable_*`` -> ``EngineConfig`` move); the ``*_ALGORITHMS`` dicts
+keep their exact historical contents for benches and ablation sweeps.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.mpi.collectives import _crecv, _csend, _csendrecv, allreduce, bcast
+from repro.mpi.coll import flat as _flat
+from repro.mpi.collectives import allreduce as _allreduce_default
 from repro.mpi.reduce_ops import Op
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.communicator import Communicator
 
 
-def bcast_linear(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
-    """Root sends to every rank in turn: O(size) root-serialized sends.
+def _warn(old: str, operation: str, name: str) -> None:
+    warnings.warn(
+        f"repro.mpi.algorithms.{old}() is deprecated; use "
+        f"comm.{operation}(..., algorithm={name!r}) or "
+        f"repro.mpi.coll.get({operation!r}, {name!r}).fn",
+        DeprecationWarning, stacklevel=3)
 
-    Optimal for tiny worlds or when only the root has the NIC warm;
-    loses badly to the binomial tree as size grows.
-    """
-    tag = comm._coll_tag()
-    if comm.rank == root:
-        for dest in range(comm.size):
-            if dest != root:
-                yield from _csend(comm, obj, dest, tag)
-        return obj
-    received = yield from _crecv(comm, root, tag)
-    return received
+
+def bcast_linear(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
+    """Deprecated shim for the registry's ``("bcast", "linear")``."""
+    _warn("bcast_linear", "bcast", "linear")
+    result = yield from _flat.bcast_linear(comm, obj, root)
+    return result
 
 
 def bcast_binomial(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
-    """The default binomial-tree broadcast (re-exported for symmetry)."""
-    result = yield from bcast(comm, obj, root)
+    """Deprecated shim for the registry's ``("bcast", "binomial")``."""
+    _warn("bcast_binomial", "bcast", "binomial")
+    result = yield from _flat.bcast_binomial(comm, obj, root)
     return result
 
 
 def allreduce_recursive_doubling(comm: "Communicator", obj: Any,
                                  op: Op) -> Generator:
-    """Recursive doubling: log2(p) exchange rounds, all ranks finish with
-    the result simultaneously.
-
-    Non-power-of-two worlds first fold the surplus ranks onto partners
-    (the MPICH pre/post phase).  Requires a commutative operator; falls
-    back to the default reduce+bcast otherwise.
-    """
-    if not op.commutative:
-        result = yield from allreduce(comm, obj, op)
-        return result
-    tag = comm._coll_tag()
-    size, rank = comm.size, comm.rank
-    pof2 = 1
-    while pof2 * 2 <= size:
-        pof2 *= 2
-    rem = size - pof2
-    value = obj
-    new_rank = -1
-    # Pre-phase: ranks [0, 2*rem) pair up; odd members fold into even.
-    if rank < 2 * rem:
-        if rank % 2:  # odd: send and retire
-            yield from _csend(comm, value, rank - 1, tag)
-        else:
-            incoming = yield from _crecv(comm, rank + 1, tag)
-            value = op(value, incoming)
-            new_rank = rank // 2
-    else:
-        new_rank = rank - rem
-    # Core: recursive doubling among pof2 virtual ranks.
-    if new_rank >= 0:
-        mask = 1
-        while mask < pof2:
-            partner_virtual = new_rank ^ mask
-            partner = (partner_virtual * 2 if partner_virtual < rem
-                       else partner_virtual + rem)
-            incoming = yield from _csendrecv(comm, value, partner, partner,
-                                             tag)
-            value = op(value, incoming)
-            mask *= 2
-    # Post-phase: even members hand results back to the retired odds.
-    if rank < 2 * rem:
-        if rank % 2:
-            value = yield from _crecv(comm, rank - 1, tag)
-        else:
-            yield from _csend(comm, value, rank + 1, tag)
-    return value
+    """Deprecated shim for ``("allreduce", "recursive_doubling")``."""
+    _warn("allreduce_recursive_doubling", "allreduce", "recursive_doubling")
+    result = yield from _flat.allreduce_recursive_doubling(comm, obj, op)
+    return result
 
 
 def allgather_bruck(comm: "Communicator", obj: Any) -> Generator:
-    """Bruck's allgather: ceil(log2(p)) rounds of doubling block
-    exchanges — fewer, larger messages than the ring for small payloads.
-    """
-    tag = comm._coll_tag()
-    size, rank = comm.size, comm.rank
-    blocks: list[Any] = [obj]
-    distance = 1
-    while distance < size:
-        dest = (rank - distance) % size
-        source = (rank + distance) % size
-        want = min(distance, size - distance)
-        incoming = yield from _csendrecv(comm, blocks[:want], dest, source,
-                                         tag)
-        blocks.extend(incoming)
-        distance *= 2
-    blocks = blocks[:size]
-    # blocks[i] currently holds rank (rank + i) % size's contribution.
-    out: list[Any] = [None] * size
-    for i, item in enumerate(blocks):
-        out[(rank + i) % size] = item
-    return out
+    """Deprecated shim for the registry's ``("allgather", "bruck")``."""
+    _warn("allgather_bruck", "allgather", "bruck")
+    result = yield from _flat.allgather_bruck(comm, obj)
+    return result
 
 
-#: Name -> callable registries, for benches and ablation sweeps.
+#: Name -> callable registries, exactly as before the registry existed
+#: (warning-free implementations — sweeps iterate these in bulk).
 BCAST_ALGORITHMS = {
-    "linear": bcast_linear,
-    "binomial": bcast_binomial,
+    "linear": _flat.bcast_linear,
+    "binomial": _flat.bcast_binomial,
 }
 
 ALLREDUCE_ALGORITHMS = {
-    "reduce_bcast": allreduce,
-    "recursive_doubling": allreduce_recursive_doubling,
+    "reduce_bcast": _allreduce_default,
+    "recursive_doubling": _flat.allreduce_recursive_doubling,
 }

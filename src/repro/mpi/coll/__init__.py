@@ -1,0 +1,45 @@
+"""Pluggable collective-algorithm selection (the registry package).
+
+Importing this package registers every built-in algorithm family:
+
+- :mod:`repro.mpi.coll.flat` — the per-operation defaults plus the
+  classic MPICH zoo (linear/binomial bcast, recursive doubling, Bruck);
+- :mod:`repro.mpi.coll.hierarchical` — node-aware two-level algorithms
+  over ``Communicator.split_type()`` subcommunicators;
+- :mod:`repro.mpi.coll.multilane` — payload decomposition across rails
+  with concurrent per-lane sub-collectives.
+
+See :mod:`repro.mpi.coll.registry` for the selection precedence
+(per call > per communicator > ``EngineConfig.coll_algorithm`` /
+``REPRO_COLL_ALG`` > default).
+"""
+
+from repro.mpi.coll.registry import (
+    ENV_VAR,
+    OPERATIONS,
+    REGISTRY,
+    CollectiveAlgorithm,
+    get,
+    names,
+    operations_with,
+    parse_selection,
+    register,
+    resolve,
+)
+from repro.mpi.coll import flat, hierarchical, multilane  # noqa: F401  (registration side effects)
+
+__all__ = [
+    "ENV_VAR",
+    "OPERATIONS",
+    "REGISTRY",
+    "CollectiveAlgorithm",
+    "get",
+    "names",
+    "operations_with",
+    "parse_selection",
+    "register",
+    "resolve",
+    "flat",
+    "hierarchical",
+    "multilane",
+]

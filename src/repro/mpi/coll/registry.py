@@ -1,0 +1,164 @@
+"""The collective-algorithm registry (selection by ``(operation, name)``).
+
+Every collective algorithm the simulator knows — the flat defaults from
+:mod:`repro.mpi.collectives`, the classic MPICH zoo, the node-aware
+hierarchical family and the multi-lane decompositions — registers here
+under its operation ("bcast", "allreduce", ...) and a short name.  The
+same implementation is then reachable three ways, in precedence order:
+
+1. per call:        ``yield from comm.allreduce(x, algorithm="hier")``
+2. per communicator: ``comm.set_coll_algorithm("allreduce", "hier")``
+3. globally:        ``EngineConfig(coll_algorithm="allreduce=hier")`` or
+                    the ``REPRO_COLL_ALG`` environment variable.
+
+With no selection anywhere, :func:`resolve` returns the exact default
+callables from :mod:`repro.mpi.collectives`, so unselected runs are
+bit-identical (same virtual time, same traffic) to the pre-registry
+simulator.
+
+A selection string is either one bare name (applied to every operation
+that registers it) or a comma list of ``operation=name`` pairs::
+
+    REPRO_COLL_ALG=hier
+    REPRO_COLL_ALG=allreduce=multilane,bcast=binomial
+
+Unknown operations or names raise
+:class:`~repro.errors.ConfigurationError` at parse time —
+``EngineConfig`` validation happens in ``Engine.apply_config``, before
+any rank runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.communicator import Communicator
+
+#: Operations the registry covers (the selectable subset of the
+#: collective API; scan/exscan/reduce_scatter/alltoallv have a single
+#: implementation each and stay direct).
+OPERATIONS = ("barrier", "bcast", "reduce", "allreduce",
+              "gather", "scatter", "allgather", "alltoall")
+
+#: Environment variable consulted when neither the call, the
+#: communicator nor the engine config selects an algorithm.
+ENV_VAR = "REPRO_COLL_ALG"
+
+
+@dataclass(frozen=True)
+class CollectiveAlgorithm:
+    """One registered implementation of one collective operation."""
+
+    operation: str
+    name: str
+    fn: Callable[..., Generator]
+    description: str = ""
+
+
+#: ``(operation, name) -> CollectiveAlgorithm``.
+REGISTRY: dict[tuple[str, str], CollectiveAlgorithm] = {}
+
+
+def register(operation: str, name: str, fn: Callable[..., Generator],
+             description: str = "") -> CollectiveAlgorithm:
+    """Register ``fn`` as ``operation``'s ``name`` algorithm."""
+    if operation not in OPERATIONS:
+        raise ConfigurationError(
+            f"unknown collective operation {operation!r}; "
+            f"known: {OPERATIONS}")
+    key = (operation, name)
+    if key in REGISTRY:
+        raise ConfigurationError(
+            f"collective algorithm {name!r} already registered for "
+            f"{operation!r}")
+    algorithm = CollectiveAlgorithm(operation, name, fn, description)
+    REGISTRY[key] = algorithm
+    return algorithm
+
+
+def get(operation: str, name: str) -> CollectiveAlgorithm:
+    """Look up one algorithm; raises ConfigurationError when unknown."""
+    try:
+        return REGISTRY[(operation, name)]
+    except KeyError:
+        raise ConfigurationError(
+            f"no {operation!r} algorithm named {name!r}; "
+            f"known: {names(operation)}") from None
+
+
+def names(operation: str) -> list[str]:
+    """Sorted algorithm names registered for ``operation``."""
+    return sorted(n for (op, n) in REGISTRY if op == operation)
+
+
+def operations_with(name: str) -> list[str]:
+    """Operations for which an algorithm called ``name`` exists."""
+    return [op for op in OPERATIONS if (op, name) in REGISTRY]
+
+
+def parse_selection(text: str) -> dict[str, str]:
+    """Parse a selection string into ``{operation: name}``.
+
+    A bare name selects that algorithm for every operation registering
+    it; ``op=name`` pairs pin individual operations.  Raises
+    :class:`~repro.errors.ConfigurationError` on unknown operations or
+    names, so a bad ``EngineConfig``/env var fails before the first rank
+    runs rather than mid-collective.
+    """
+    selection: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            operation, _, name = part.partition("=")
+            operation, name = operation.strip(), name.strip()
+            get(operation, name)  # validates both halves
+            selection[operation] = name
+        else:
+            covered = operations_with(part)
+            if not covered:
+                known = sorted({n for (_, n) in REGISTRY})
+                raise ConfigurationError(
+                    f"no collective algorithm named {part!r}; "
+                    f"known names: {known}")
+            for operation in covered:
+                selection[operation] = part
+    return selection
+
+
+def _engine_selection(engine) -> dict[str, str]:
+    """The engine-wide selection: ``EngineConfig.coll_algorithm`` if set
+    (validated by ``apply_config``), else ``REPRO_COLL_ALG``, else {}.
+
+    Cached on the engine so the environment is read once per run —
+    selection is part of the run's configuration, not live state.
+    """
+    selection = getattr(engine, "coll_selection", None)
+    if selection is None:
+        text = os.environ.get(ENV_VAR, "")
+        selection = parse_selection(text) if text else {}
+        engine.coll_selection = selection
+    return selection
+
+
+def resolve(comm: "Communicator", operation: str,
+            name: str | None = None) -> Callable[..., Generator]:
+    """The callable to run for ``operation`` on ``comm``.
+
+    Precedence: explicit ``name`` (per call) > the communicator's
+    :meth:`~repro.mpi.communicator.Communicator.set_coll_algorithm`
+    table > the engine-wide selection > ``"default"``.
+    """
+    if name is None:
+        name = comm._coll_algorithms.get(operation)
+    if name is None:
+        name = _engine_selection(comm.env.process.engine).get(operation)
+    if name is None:
+        name = "default"
+    return get(operation, name).fn

@@ -274,16 +274,27 @@ def exscan(comm: "Communicator", obj: Any, op: Op) -> Generator:
 # buffer (numpy) flavours
 # ---------------------------------------------------------------------------
 
-def Bcast(comm: "Communicator", array: np.ndarray, root: int = 0) -> Generator:
+def _resolved(comm: "Communicator", operation: str, algorithm: str | None):
+    """Registry lookup for the buffer flavours (lazy import: the
+    registry package imports this module)."""
+    from repro.mpi.coll.registry import resolve
+    return resolve(comm, operation, algorithm)
+
+
+def Bcast(comm: "Communicator", array: np.ndarray, root: int = 0,
+          algorithm: str | None = None) -> Generator:
     """In-place broadcast of a numpy array."""
-    data = yield from bcast(comm, array if comm.rank == root else None, root)
+    fn = _resolved(comm, "bcast", algorithm)
+    data = yield from fn(comm, array if comm.rank == root else None, root)
     if comm.rank != root:
         np.copyto(array, np.asarray(data).reshape(array.shape))
 
 
 def Reduce(comm: "Communicator", sendarr: np.ndarray,
-           recvarr: np.ndarray | None, op: Op, root: int = 0) -> Generator:
-    result = yield from reduce(comm, np.asarray(sendarr), op, root)
+           recvarr: np.ndarray | None, op: Op, root: int = 0,
+           algorithm: str | None = None) -> Generator:
+    fn = _resolved(comm, "reduce", algorithm)
+    result = yield from fn(comm, np.asarray(sendarr), op, root)
     if comm.rank == root:
         if recvarr is None:
             raise MPIError("Reduce root needs a receive buffer")
@@ -291,16 +302,20 @@ def Reduce(comm: "Communicator", sendarr: np.ndarray,
 
 
 def Allreduce(comm: "Communicator", sendarr: np.ndarray,
-              recvarr: np.ndarray, op: Op | None = None) -> Generator:
+              recvarr: np.ndarray, op: Op | None = None,
+              algorithm: str | None = None) -> Generator:
     if op is None:
         from repro.mpi.reduce_ops import SUM as op  # noqa: N811
-    result = yield from allreduce(comm, np.asarray(sendarr), op)
+    fn = _resolved(comm, "allreduce", algorithm)
+    result = yield from fn(comm, np.asarray(sendarr), op)
     np.copyto(recvarr, np.asarray(result).reshape(recvarr.shape))
 
 
 def Gather(comm: "Communicator", sendarr: np.ndarray,
-           recvarr: np.ndarray | None, root: int = 0) -> Generator:
-    parts = yield from gather(comm, np.asarray(sendarr), root)
+           recvarr: np.ndarray | None, root: int = 0,
+           algorithm: str | None = None) -> Generator:
+    fn = _resolved(comm, "gather", algorithm)
+    parts = yield from fn(comm, np.asarray(sendarr), root)
     if comm.rank == root:
         if recvarr is None:
             raise MPIError("Gather root needs a receive buffer")
@@ -309,7 +324,8 @@ def Gather(comm: "Communicator", sendarr: np.ndarray,
 
 
 def Scatter(comm: "Communicator", sendarr: np.ndarray | None,
-            recvarr: np.ndarray, root: int = 0) -> Generator:
+            recvarr: np.ndarray, root: int = 0,
+            algorithm: str | None = None) -> Generator:
     if comm.rank == root:
         if sendarr is None:
             raise MPIError("Scatter root needs a send buffer")
@@ -317,13 +333,16 @@ def Scatter(comm: "Communicator", sendarr: np.ndarray | None,
         parts = [flat[i].copy() for i in range(comm.size)]
     else:
         parts = None
-    part = yield from scatter(comm, parts, root)
+    fn = _resolved(comm, "scatter", algorithm)
+    part = yield from fn(comm, parts, root)
     np.copyto(recvarr.reshape(-1), np.asarray(part).reshape(-1))
 
 
 def Allgather(comm: "Communicator", sendarr: np.ndarray,
-              recvarr: np.ndarray) -> Generator:
-    parts = yield from allgather(comm, np.asarray(sendarr))
+              recvarr: np.ndarray,
+              algorithm: str | None = None) -> Generator:
+    fn = _resolved(comm, "allgather", algorithm)
+    parts = yield from fn(comm, np.asarray(sendarr))
     stacked = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
     np.copyto(recvarr.reshape(-1), stacked)
 

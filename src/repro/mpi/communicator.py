@@ -17,6 +17,7 @@ from typing import Any, Generator, Sequence
 import numpy as np
 
 from repro.errors import MPICommError, MPIDatatypeError
+from repro.mpi import coll as _collreg
 from repro.mpi import collectives as _coll
 from repro.mpi import point2point as _p2p
 from repro.mpi.adi.device import clone_payload
@@ -24,6 +25,7 @@ from repro.mpi.constants import (
     ANY_SOURCE,
     ANY_TAG,
     COLLECTIVE_CONTEXT_OFFSET,
+    COMM_TYPE_SHARED,
     UNDEFINED,
 )
 from repro.mpi.datatypes import BYTE, Datatype
@@ -50,6 +52,9 @@ class Communicator:
         self.freed = False
         #: Attribute cache (MPI keyval mechanism, per-communicator).
         self._attributes: dict[Any, Any] = {}
+        #: Per-communicator collective algorithm selection
+        #: (operation -> registry name); see :meth:`set_coll_algorithm`.
+        self._coll_algorithms: dict[str, str] = {}
 
     #: True on intercommunicators (MPI_Comm_test_inter).
     is_inter = False
@@ -305,35 +310,60 @@ class Communicator:
         self._coll_seq += 1
         return self._coll_seq
 
-    def barrier(self) -> Generator:
-        yield from _coll.barrier(self)
+    def set_coll_algorithm(self, operation: str, name: str) -> None:
+        """Pin ``operation`` to registry algorithm ``name`` on this
+        communicator (overridden by a per-call ``algorithm=``).
 
-    def bcast(self, obj: Any, root: int = 0) -> Generator:
-        result = yield from _coll.bcast(self, obj, root)
+        Like any collective-selection change, apply it at the same point
+        on every rank: algorithm choice shapes the traffic pattern, and
+        MPI requires identical collective behaviour across the group.
+        """
+        self._check_live()
+        _collreg.get(operation, name)  # validate before storing
+        self._coll_algorithms[operation] = name
+
+    def barrier(self, algorithm: str | None = None) -> Generator:
+        yield from _collreg.resolve(self, "barrier", algorithm)(self)
+
+    def bcast(self, obj: Any, root: int = 0,
+              algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "bcast", algorithm)
+        result = yield from fn(self, obj, root)
         return result
 
-    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Generator:
-        result = yield from _coll.reduce(self, obj, op, root)
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0,
+               algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "reduce", algorithm)
+        result = yield from fn(self, obj, op, root)
         return result
 
-    def allreduce(self, obj: Any, op: Op = SUM) -> Generator:
-        result = yield from _coll.allreduce(self, obj, op)
+    def allreduce(self, obj: Any, op: Op = SUM,
+                  algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "allreduce", algorithm)
+        result = yield from fn(self, obj, op)
         return result
 
-    def gather(self, obj: Any, root: int = 0) -> Generator:
-        result = yield from _coll.gather(self, obj, root)
+    def gather(self, obj: Any, root: int = 0,
+               algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "gather", algorithm)
+        result = yield from fn(self, obj, root)
         return result
 
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Generator:
-        result = yield from _coll.scatter(self, objs, root)
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0,
+                algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "scatter", algorithm)
+        result = yield from fn(self, objs, root)
         return result
 
-    def allgather(self, obj: Any) -> Generator:
-        result = yield from _coll.allgather(self, obj)
+    def allgather(self, obj: Any, algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "allgather", algorithm)
+        result = yield from fn(self, obj)
         return result
 
-    def alltoall(self, objs: Sequence[Any]) -> Generator:
-        result = yield from _coll.alltoall(self, objs)
+    def alltoall(self, objs: Sequence[Any],
+                 algorithm: str | None = None) -> Generator:
+        fn = _collreg.resolve(self, "alltoall", algorithm)
+        result = yield from fn(self, objs)
         return result
 
     def reduce_scatter(self, objs: Sequence[Any], op: Op = SUM) -> Generator:
@@ -354,28 +384,36 @@ class Communicator:
 
     # Buffer-flavour collectives (numpy arrays, elementwise ops).
 
-    def Bcast(self, array: np.ndarray, root: int = 0) -> Generator:
-        yield from _coll.Bcast(self, array, root)
+    def Bcast(self, array: np.ndarray, root: int = 0,
+              algorithm: str | None = None) -> Generator:
+        yield from _coll.Bcast(self, array, root, algorithm=algorithm)
 
     def Reduce(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
-               op: Op = SUM, root: int = 0) -> Generator:
-        yield from _coll.Reduce(self, sendarr, recvarr, op, root)
+               op: Op = SUM, root: int = 0,
+               algorithm: str | None = None) -> Generator:
+        yield from _coll.Reduce(self, sendarr, recvarr, op, root,
+                                algorithm=algorithm)
 
     def Allreduce(self, sendarr: np.ndarray, recvarr: np.ndarray,
-                  op: Op = SUM) -> Generator:
-        yield from _coll.Allreduce(self, sendarr, recvarr, op)
+                  op: Op = SUM, algorithm: str | None = None) -> Generator:
+        yield from _coll.Allreduce(self, sendarr, recvarr, op,
+                                   algorithm=algorithm)
 
     def Gather(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
-               root: int = 0) -> Generator:
-        yield from _coll.Gather(self, sendarr, recvarr, root)
+               root: int = 0, algorithm: str | None = None) -> Generator:
+        yield from _coll.Gather(self, sendarr, recvarr, root,
+                                algorithm=algorithm)
 
     def Scatter(self, sendarr: np.ndarray | None,
-                recvarr: np.ndarray, root: int = 0) -> Generator:
-        yield from _coll.Scatter(self, sendarr, recvarr, root)
+                recvarr: np.ndarray, root: int = 0,
+                algorithm: str | None = None) -> Generator:
+        yield from _coll.Scatter(self, sendarr, recvarr, root,
+                                 algorithm=algorithm)
 
-    def Allgather(self, sendarr: np.ndarray,
-                  recvarr: np.ndarray) -> Generator:
-        yield from _coll.Allgather(self, sendarr, recvarr)
+    def Allgather(self, sendarr: np.ndarray, recvarr: np.ndarray,
+                  algorithm: str | None = None) -> Generator:
+        yield from _coll.Allgather(self, sendarr, recvarr,
+                                   algorithm=algorithm)
 
     def Gatherv(self, sendarr: np.ndarray, recvspec: tuple | None,
                 root: int = 0) -> Generator:
@@ -396,9 +434,15 @@ class Communicator:
     # =====================================================================
 
     def dup(self) -> Generator:
-        """Collective: duplicate this communicator with a fresh context."""
+        """Collective: duplicate this communicator with a fresh context.
+
+        Communicator machinery (dup/split/create/split_type) always runs
+        the flat default collectives directly: it must work identically
+        whatever algorithm selection is active — the hierarchical and
+        multi-lane families build their subcommunicators through here.
+        """
         self._check_live()
-        yield from self.barrier()
+        yield from _coll.barrier(self)
         return Communicator(self.env, self.group, self.env.allocate_context())
 
     def split(self, color: int, key: int | None = None) -> Generator:
@@ -418,10 +462,40 @@ class Communicator:
         world_ranks = [self.group.world_rank(r) for _, r in members]
         return Communicator(self.env, Group(world_ranks), context)
 
+    def split_type(self, split_type: int = COMM_TYPE_SHARED,
+                   key: int | None = None) -> Generator:
+        """Collective: split into node-local subcommunicators
+        (MPI_Comm_split_type with MPI_COMM_TYPE_SHARED).
+
+        Node membership comes from the cluster configuration's locality
+        map (:attr:`MPIEnv.node_of_rank`), so with the default ``key``
+        no rank exchange is needed beyond a barrier — membership and
+        ordering (by communicator rank) are locally derivable on every
+        rank.  ``UNDEFINED`` evaluates to None, like :meth:`split`.
+        """
+        self._check_live()
+        if split_type == UNDEFINED:
+            yield from _coll.barrier(self)
+            self.env.allocate_context()
+            return None
+        if split_type != COMM_TYPE_SHARED:
+            raise MPICommError(
+                f"unsupported split_type {split_type!r}; only "
+                "COMM_TYPE_SHARED (and UNDEFINED) exist")
+        if key is not None:
+            result = yield from self.split(self.env.node, key)
+            return result
+        yield from _coll.barrier(self)
+        context = self.env.allocate_context()
+        node_of = self.env.node_of_rank
+        world_ranks = [self._dest_world(r) for r in range(self.size)
+                       if node_of[self._dest_world(r)] == self.env.node]
+        return Communicator(self.env, Group(world_ranks), context)
+
     def create(self, group: Group) -> Generator:
         """Collective over this comm: new communicator for ``group``."""
         self._check_live()
-        yield from self.barrier()
+        yield from _coll.barrier(self)
         context = self.env.allocate_context()
         if self.env.rank not in group:
             return None

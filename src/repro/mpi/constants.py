@@ -11,6 +11,10 @@ PROC_NULL = -2
 #: Returned by comparisons / split with no membership.
 UNDEFINED = -3
 
+#: ``Communicator.split_type`` selector: ranks sharing an SMP node
+#: (MPI_COMM_TYPE_SHARED; the only supported type).
+COMM_TYPE_SHARED = 1
+
 #: Highest tag value applications may use (MPI guarantees >= 32767).
 TAG_UB = 2**20
 

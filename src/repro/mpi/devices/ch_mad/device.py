@@ -102,6 +102,11 @@ class ChMadDevice(Device):
         self._pollers: list[ChannelPoller] = []
         self.term_received = 0
         self.packets_relayed = 0
+        #: context id -> lane index, installed by the multi-lane
+        #: collectives (:mod:`repro.mpi.coll.multilane`).  Traffic on an
+        #: assigned context is steered to rail ``lane % live rails``
+        #: instead of the preference-order winner.
+        self.context_lanes: dict[int, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -146,12 +151,18 @@ class ChMadDevice(Device):
 
     # -- channel selection ---------------------------------------------------------
 
-    def direct_port(self, dest_world: int) -> ChannelPort | None:
+    def direct_port(self, dest_world: int,
+                    lane: int | None = None) -> ChannelPort | None:
         """Fastest channel shared with the destination, if any.
 
         Rails of one protocol (``"bip"``, ``"bip#1"``) share a preference
         slot; the lowest-named rail that reaches the destination wins.
+        With a ``lane``, selection rotates through *all* live rails that
+        reach the destination (preference order, then name order), so
+        lanes land on distinct rails wherever enough exist — and fold
+        onto the survivors, modulo, when rails die.
         """
+        candidates: list[ChannelPort] = []
         for protocol in self.preference:
             for name in sorted(self.ports):
                 if base_protocol(name) != protocol:
@@ -160,8 +171,44 @@ class ChMadDevice(Device):
                 if port.channel.dead:
                     continue
                 if dest_world in port.channel.ports:
-                    return port
-        return None
+                    if lane is None:
+                        return port
+                    candidates.append(port)
+        if not candidates:
+            return None
+        return candidates[lane % len(candidates)]
+
+    # -- multi-lane support (repro.mpi.coll.multilane) -------------------------
+
+    def lane_count(self, dest_world: int | None = None) -> int:
+        """Number of live rails (optionally: that reach ``dest_world``)."""
+        count = 0
+        for port in self.ports.values():
+            if port.channel.dead:
+                continue
+            if dest_world is not None and \
+                    dest_world not in port.channel.ports:
+                continue
+            count += 1
+        return max(count, 1)
+
+    def assign_lane(self, context_ids, lane: int) -> None:
+        """Steer every context in ``context_ids`` onto rail ``lane``."""
+        for context_id in context_ids:
+            self.context_lanes[int(context_id)] = int(lane)
+
+    def _lane_of(self, header: ChMadHeader) -> int | None:
+        """Lane of one outgoing packet, from its envelope's context.
+
+        Control packets without an envelope (SENDOK, TERM) take the
+        default rail — they are tiny and order-insensitive.
+        """
+        if not self.context_lanes:
+            return None
+        envelope = header.envelope
+        if envelope is None:
+            return None
+        return self.context_lanes.get(envelope.context_id)
 
     def select_port(self, dest_world: int) -> ChannelPort:
         port = self.direct_port(dest_world)
@@ -212,7 +259,7 @@ class ChMadDevice(Device):
             # logical packet exactly once, at its origin (relays re-enter
             # through send_wrapped, never through here).
             checker.on_chmad_send(self.world_rank, dest_world, header)
-        port = self.direct_port(dest_world)
+        port = self.direct_port(dest_world, lane=self._lane_of(header))
         if port is None:
             if dest_world not in self.forward_routes:
                 self.select_port(dest_world)  # raises the descriptive error

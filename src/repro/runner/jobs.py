@@ -21,6 +21,10 @@ Built-in kinds:
 ``fuzz_workload``
     One ``(workload, fuzz seed)`` run under the online checker — the
     unit the fuzz sweep parallelizes.
+``coll_bench``
+    One ``(operation, algorithm)`` collective timing on a multirail SMP
+    cluster (:func:`repro.bench.collectives.collective_bench`) — the
+    unit of the flat/hier/multilane comparison sweep.
 
 Tests register ad-hoc kinds with :func:`register`; unknown kinds raise
 :class:`~repro.errors.ConfigurationError`.
@@ -106,6 +110,14 @@ def _run_baseline_point(params: dict[str, Any], seed: int) -> dict[str, Any]:
         "latency_us": model.latency_us(size),
         "bandwidth_mb_s": model.bandwidth_mb_s(size),
     }
+
+
+@register("coll_bench")
+def _run_coll_bench(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    from repro.bench.collectives import collective_bench
+
+    del seed  # virtual-time benchmark; the engine default seed applies
+    return collective_bench(**params)
 
 
 @register("fuzz_workload")

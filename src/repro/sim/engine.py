@@ -85,6 +85,13 @@ class EngineConfig:
     #: Chrome-trace export path, written at MPI_Finalize (implies
     #: ``instrumentation``).
     trace_sink: str | None = None
+    #: Engine-wide collective algorithm selection: one registry name
+    #: (``"hier"``) or ``"op=name"`` pairs
+    #: (``"allreduce=multilane,bcast=binomial"``); see
+    #: :mod:`repro.mpi.coll`.  Validated against the registry by
+    #: :meth:`Engine.apply_config`.  None defers to the
+    #: ``REPRO_COLL_ALG`` environment variable, then the defaults.
+    coll_algorithm: str | None = None
 
     @property
     def wants_instrumentation(self) -> bool:
@@ -221,6 +228,12 @@ class Engine:
         if config.fuzz_seed is not None:
             from repro.check.fuzz import install_fuzz
             install_fuzz(self, config.fuzz_seed, **dict(config.fuzz_params))
+        if config.coll_algorithm is not None:
+            # Validate against the registry now, so a typo fails the run
+            # before any rank starts (lazy import: the registry lives in
+            # the MPI layer, which imports this module).
+            from repro.mpi.coll import parse_selection
+            self.coll_selection = parse_selection(config.coll_algorithm)
         return self
 
     def rng(self, namespace: str = "") -> random.Random:

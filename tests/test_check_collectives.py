@@ -1,16 +1,23 @@
 """Differential collective tests under the online checker.
 
-Every algorithm variant in :mod:`repro.mpi.algorithms` runs on each of
-the three paper networks (SCI, TCP, BIP/Myrinet) and is compared
-against a pure-Python reference computed outside the simulator.  The
-checker is enabled for every run: an algorithm that silently violates
-non-overtaking, the rendezvous handshake or the finalize leak rules
-fails here even when its numeric answer happens to be right.
+Every algorithm variant in the collective registry (plus the legacy
+:mod:`repro.mpi.algorithms` surface) runs on each of the three paper
+networks (SCI, TCP, BIP/Myrinet) and is compared against the flat
+default and a pure-Python reference computed outside the simulator.
+The checker is enabled for every run: an algorithm that silently
+violates non-overtaking, the rendezvous handshake or the finalize leak
+rules fails here even when its numeric answer happens to be right.
+
+The registry differential section runs on a multirail SMP cluster
+(2 ranks/node, 2 rails/node) so the node-aware and multi-lane families
+exercise their real decompositions rather than degenerate fallbacks.
 """
 
+import numpy as np
 import pytest
 
-from repro.cluster import MPIWorld
+from repro.cluster import MPIWorld, multirail_smp_cluster
+from repro.mpi import coll
 from repro.mpi.algorithms import (
     ALLREDUCE_ALGORITHMS,
     BCAST_ALGORITHMS,
@@ -29,6 +36,26 @@ def run_checked(program, nranks, network):
     results = world.run(program)
     assert checker.violations == []
     return results
+
+
+def run_checked_smp(program, network, nodes=4, processes_per_node=2):
+    """Checked run on the multirail SMP cluster (8 ranks, 2 rails)."""
+    world = MPIWorld(multirail_smp_cluster(
+        nodes=nodes, processes_per_node=processes_per_node,
+        rails=2, network=network))
+    checker = world.engine.enable_checker()
+    results = world.run(program)
+    assert checker.violations == []
+    return results
+
+
+def canon(value):
+    """ndarray/list-insensitive comparison form."""
+    if isinstance(value, np.ndarray):
+        return tuple(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return tuple(canon(v) for v in value)
+    return value
 
 
 @pytest.mark.parametrize("network", NETWORKS)
@@ -92,6 +119,76 @@ def test_bruck_allgather_matches_ring_and_reference(nranks, network):
     for bruck, ring in run_checked(program, nranks, network):
         assert bruck == expected
         assert ring == expected
+
+
+# ---------------------------------------------------------------------------
+# registry differential: every registered algorithm vs the flat default
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("name", coll.names("bcast"))
+def test_registered_bcast_matches_default(name, network):
+    def program(mpi):
+        comm = mpi.comm_world
+        data = np.arange(16.0) * 3 if comm.rank == 1 else None
+        got = yield from comm.bcast(data, root=1, algorithm=name)
+        ref = yield from comm.bcast(data, root=1)
+        return (canon(got), canon(ref))
+
+    expected = canon(np.arange(16.0) * 3)
+    for got, ref in run_checked_smp(program, network):
+        assert got == ref == expected
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("name", coll.names("allreduce"))
+def test_registered_allreduce_matches_default(name, network):
+    def program(mpi):
+        comm = mpi.comm_world
+        data = np.full(8, float(comm.rank + 1))
+        got = yield from comm.allreduce(data, SUM, algorithm=name)
+        ref = yield from comm.allreduce(data, SUM)
+        peak = yield from comm.allreduce(comm.rank * 10, MAX,
+                                         algorithm=name)
+        return (canon(got), canon(ref), peak)
+
+    results = run_checked_smp(program, network)
+    total = sum(range(1, 9))
+    for got, ref, peak in results:
+        assert got == ref == (float(total),) * 8
+        assert peak == 70
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("name", coll.names("allgather"))
+def test_registered_allgather_matches_default(name, network):
+    def program(mpi):
+        comm = mpi.comm_world
+        data = np.full(6, float(comm.rank))
+        got = yield from comm.allgather(data, algorithm=name)
+        ref = yield from comm.allgather(data)
+        return (canon(got), canon(ref))
+
+    expected = tuple((float(r),) * 6 for r in range(8))
+    for got, ref in run_checked_smp(program, network):
+        assert got == ref == expected
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+@pytest.mark.parametrize("name", coll.names("barrier"))
+def test_registered_barrier_is_clean(name, network):
+    # A barrier has no value to compare; sandwich it between allreduces
+    # so stolen matches or leaked collective state would corrupt data
+    # (and the checker sees the full exchange).
+    def program(mpi):
+        comm = mpi.comm_world
+        before = yield from comm.allreduce(1, SUM)
+        yield from comm.barrier(algorithm=name)
+        after = yield from comm.allreduce(comm.rank, SUM)
+        return (before, after)
+
+    assert run_checked_smp(program, network) == [(8, 28)] * 8
 
 
 @pytest.mark.parametrize("network", NETWORKS)
