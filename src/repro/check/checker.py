@@ -26,6 +26,12 @@ window``            the transport's dedup, or an ack for a sequence that
 ``finalize-leak``   Requests, unexpected messages, sync structures, gate
                     tickets or rendezvous transactions still live at
                     MPI_Finalize.
+``revoked-          A message on a revoked communicator was matched to a
+delivery``          receive (delivered to user code) after the revocation
+                    reached that rank.
+``dead-rank-leak``  A request referencing a dead rank (a posted receive
+                    from it, or a rendezvous send towards it) survived to
+                    MPI_Finalize — the FT layer failed to resolve it.
 ==================  =====================================================
 
 This module is imported by :mod:`repro.sim.engine` at module level, so it
@@ -97,6 +103,10 @@ class Checker:
         self._recv_window: dict[tuple[int, int, int], int] = {}
         #: Packets observed per MadPktType name (diagnostics).
         self.packets_seen: dict[str, int] = {}
+        # Fault tolerance: ranks killed by the DeathController, and the
+        # base context ids each rank has seen revoked (rank -> set).
+        self.dead_ranks: set[int] = set()
+        self._revoked: dict[int, set[int]] = {}
 
     # -- violation plumbing ------------------------------------------------
 
@@ -126,6 +136,19 @@ class Checker:
 
     def on_match(self, envelope: Any, rank: int) -> None:
         """A message was matched to a receive (posted or unexpected)."""
+        revoked = self._revoked.get(rank)
+        if revoked:
+            from repro.mpi.constants import (CONTEXTS_PER_COMM,
+                                             FT_CONTROL_CONTEXT)
+            ctx = envelope.context_id
+            if ctx < FT_CONTROL_CONTEXT \
+                    and ctx - (ctx % CONTEXTS_PER_COMM) in revoked:
+                self._violate(
+                    "revoked-delivery", rank,
+                    f"message src={envelope.source} tag={envelope.tag} "
+                    f"ctx={ctx} delivered to user code after rank {rank} "
+                    "saw the communicator revoked")
+                return
         entry = self._in_flight.pop(id(envelope), None)
         if entry is None:
             # A device that clones envelopes (none today) or a message the
@@ -308,12 +331,77 @@ class Checker:
                 connection=f"{channel.name}:{conn.remote_rank}->"
                            f"{conn.port.rank}")
 
+    # -- fault-tolerance bookkeeping ---------------------------------------
+
+    def on_rank_dead(self, rank: int) -> None:
+        """The DeathController killed ``rank``: its state is unauditable
+        (finalize skips it) and survivors' references to it must resolve."""
+        self.dead_ranks.add(rank)
+
+    def on_revoke(self, rank: int, contexts: Any) -> None:
+        """``rank`` learned of a revocation covering ``contexts`` (the
+        base context id and the hidden collective context)."""
+        from repro.mpi.constants import CONTEXTS_PER_COMM
+        revoked = self._revoked.setdefault(rank, set())
+        for ctx in contexts:
+            revoked.add(ctx - (ctx % CONTEXTS_PER_COMM))
+
+    def on_ft_discard(self, rank: int, envelope: Any, send_id: int = 0) -> None:
+        """The FT layer dropped an arrival (dead source / revoked or
+        failed context) before user code could see it: retire the shadow
+        state so the discard is not reported as a leak."""
+        self._in_flight.pop(id(envelope), None)
+        self._drop_rndv(send_id)
+
+    def on_ft_abort_send(self, rank: int, send_id: int) -> None:
+        """The FT layer aborted an in-flight rendezvous send."""
+        self._drop_rndv(send_id)
+
+    def _drop_rndv(self, send_id: int) -> None:
+        if not send_id:
+            return
+        self._rndv.pop(send_id, None)
+        for sync_id, mapped in list(self._sync_to_send.items()):
+            if mapped == send_id:
+                del self._sync_to_send[sync_id]
+
     # -- finalize leak checks ----------------------------------------------
 
     def on_finalize(self, env: Any) -> None:
         """Per-rank leak audit, run by MPI_Finalize before teardown."""
         progress = env.progress
         rank = env.rank
+        if rank in self.dead_ranks:
+            # A killed rank's queues hold whatever the death interrupted;
+            # there is no leak discipline to audit on a corpse.
+            return
+        if self.dead_ranks:
+            # FT invariant first, with its own name: nothing still alive
+            # may reference a dead rank.
+            for handle in progress.posted:
+                if handle.source_pattern in self.dead_ranks:
+                    self._violate(
+                        "dead-rank-leak", rank,
+                        f"receive from dead rank {handle.source_pattern} "
+                        f"(ctx={handle.context_id}) still posted at "
+                        "MPI_Finalize — never failed with "
+                        "MPI_ERR_PROC_FAILED")
+            for device in (env.smp_device, env.inter_device):
+                pending = getattr(device, "_pending_sends", None) or {}
+                for send_id, shandle in pending.items():
+                    if shandle.dest_world in self.dead_ranks:
+                        self._violate(
+                            "dead-rank-leak", rank,
+                            f"rendezvous send {send_id} towards dead rank "
+                            f"{shandle.dest_world} still pending at "
+                            "MPI_Finalize")
+            for sync in progress.sync_registry.values():
+                source = getattr(sync.rhandle, "rndv_source", None)
+                if source in self.dead_ranks:
+                    self._violate(
+                        "dead-rank-leak", rank,
+                        f"rendezvous sync for dead sender {source} still "
+                        "armed at MPI_Finalize")
         posted = len(progress.posted)
         if posted:
             self._violate("finalize-leak", rank,
@@ -329,8 +417,11 @@ class Checker:
             self._violate("finalize-leak", rank,
                           f"{len(progress.sync_registry)} rendezvous sync "
                           "structure(s) leaked (data packet never arrived)")
+        from repro.mpi.constants import FT_CONTROL_CONTEXT
         for (context_id, dest), gate in progress.send_gates.items():
-            if gate.depth:
+            if gate.depth and context_id < FT_CONTROL_CONTEXT:
+                # FT control floods are asynchronous by design: one may
+                # legitimately still be mid-send when the job completes.
                 self._violate(
                     "finalize-leak", rank,
                     f"send gate ctx={context_id} dest={dest} still holds "
@@ -343,22 +434,37 @@ class Checker:
                           f"{sorted(pending)})")
 
     def on_world_finalize(self) -> None:
-        """Cluster-wide residue audit after every rank finalized."""
-        if self._rndv:
+        """Cluster-wide residue audit after every rank finalized.
+
+        Shadow state touching a dead rank is exempt: a handshake or an
+        in-flight message the death interrupted is the *expected* residue
+        of a kill, and the per-rank audits already proved no live request
+        still references the corpse.
+        """
+        live_rndv = {
+            send_id: entry for send_id, entry in self._rndv.items()
+            if entry[1] not in self.dead_ranks
+            and entry[2] not in self.dead_ranks
+        }
+        if live_rndv:
             send_id, (state, sender, receiver) = next(iter(
-                sorted(self._rndv.items())))
+                sorted(live_rndv.items())))
             self._violate(
                 "finalize-leak", sender,
-                f"{len(self._rndv)} rendezvous handshake(s) incomplete at "
+                f"{len(live_rndv)} rendezvous handshake(s) incomplete at "
                 f"finalize (first: send_id {send_id} in state {state!r})",
                 connection=f"{sender}->{receiver}")
-        if self._in_flight:
-            envelopes = sorted(
-                (key, seq) for _env, key, seq in self._in_flight.values())
-            (ctx, src, dst, tag), seq = envelopes[0]
+        from repro.mpi.constants import FT_CONTROL_CONTEXT
+        live_flight = [
+            (key, seq) for _env, key, seq in self._in_flight.values()
+            if key[1] not in self.dead_ranks and key[2] not in self.dead_ranks
+            and key[0] < FT_CONTROL_CONTEXT
+        ]
+        if live_flight:
+            (ctx, src, dst, tag), seq = sorted(live_flight)[0]
             self._violate(
                 "finalize-leak", src,
-                f"{len(self._in_flight)} message(s) sent but never matched "
+                f"{len(live_flight)} message(s) sent but never matched "
                 f"to a receive (first: stream src={src} dst={dst} tag={tag} "
                 f"ctx={ctx} message #{seq})",
                 connection=f"{src}->{dst}/tag{tag}")

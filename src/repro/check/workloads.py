@@ -207,6 +207,58 @@ def _build_multilane(workload_seed: int):
 
 
 # ---------------------------------------------------------------------------
+# rank_death: a rank dies mid-job; survivors revoke + shrink + continue
+# ---------------------------------------------------------------------------
+
+def _build_rank_death(workload_seed: int):
+    from repro.errors import MPIProcFailedError, MPIRevokedError
+    from repro.faults import FaultPlan
+    from repro.units import us
+
+    # Victim and time-of-death come from the *workload* seed, so every
+    # fuzz seed replays the same failure under a different schedule.
+    nranks = 4
+    rng = random.Random(seed_namespace("rank-death", workload_seed))
+    victim = rng.randrange(nranks)
+    death_at = us(rng.randrange(150, 600))
+    config = ClusterConfig(
+        nodes=_nodes(nranks, ("sisci", "tcp")),
+        fault_plan=FaultPlan.node_death(rank=victim, at=death_at,
+                                        seed=workload_seed + 1),
+    )
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        right, left = (me + 1) % comm.size, (me - 1) % comm.size
+        died = False
+        for step in range(400):
+            # Collectives and a p2p ring, both of which must fail with
+            # ERR_PROC_FAILED / ERR_REVOKED (never hang) once the victim
+            # is gone.  *Which* iteration sees the error is schedule-
+            # dependent, so nothing pre-failure reaches the result.
+            try:
+                yield from comm.allreduce(me + 1, SUM)
+                yield from comm.sendrecv(("ring", step), dest=right,
+                                         sendtag=step % 3, source=left,
+                                         recvtag=step % 3, size=256)
+            except (MPIProcFailedError, MPIRevokedError):
+                died = True
+                break
+        if not died:
+            return ("unscathed",)
+        comm.revoke()
+        shrunk = yield from comm.shrink()
+        total = yield from shrunk.allreduce(shrunk.rank + 1, SUM)
+        gathered = yield from shrunk.allgather(shrunk.rank * 5)
+        agreed = yield from shrunk.agree(1)
+        return ("survivor", shrunk.rank, shrunk.size, total,
+                tuple(gathered), agreed)
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
 # mixed: seeded p2p storm (wildcards, all send modes, eager + rendezvous)
 # ---------------------------------------------------------------------------
 
@@ -308,5 +360,7 @@ WORKLOADS: dict[str, Workload] = {
                  "eager + rendezvous", _build_mixed),
         Workload("lossy", "the mixed storm over lossy fabrics with the "
                  "reliable transport", _build_lossy),
+        Workload("rank_death", "a seed-chosen rank dies mid-job; survivors "
+                 "revoke, shrink and finish", _build_rank_death),
     )
 }

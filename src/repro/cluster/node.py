@@ -69,15 +69,19 @@ class ClusterConfig:
     fault_plan: FaultPlan | None = None
     #: Run the Madeleine reliable transport even on perfect fabrics.
     reliable: bool = False
+    #: Enable the rank-failure model (failure detector, heartbeats, ULFM
+    #: revoke/shrink/agree API) even without a fault plan that kills
+    #: ranks.  A plan containing deaths enables all of this implicitly.
+    ft: bool = False
 
     def __post_init__(self) -> None:
         if self.device not in ("ch_mad", "ch_p4"):
             raise ConfigurationError(f"unknown device {self.device!r}")
-        if (self.fault_plan is not None or self.reliable) \
+        if (self.fault_plan is not None or self.reliable or self.ft) \
                 and self.device != "ch_mad":
             raise ConfigurationError(
-                "fault injection / reliable transport live in the Madeleine "
-                "stack; they require device='ch_mad'"
+                "fault injection / reliable transport / fault tolerance "
+                "live in the Madeleine stack; they require device='ch_mad'"
             )
         if not self.nodes:
             raise ConfigurationError("cluster needs at least one node")

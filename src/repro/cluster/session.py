@@ -50,7 +50,8 @@ class MPIWorld:
         engine = Engine(config=engine_config) if engine_config else None
         self.session = MadeleineSession(engine=engine,
                                         fault_plan=config.fault_plan,
-                                        reliable=config.reliable)
+                                        reliable=config.reliable,
+                                        ft=config.ft)
         self.engine: Engine = self.session.engine
         self.envs: list[MPIEnv] = []
         self._build()
@@ -96,6 +97,14 @@ class MPIWorld:
                         protocol, protocol, ranks=members
                     )
 
+        # The death controller learns the locality map so a surviving
+        # node-mate of a victim is told by the (simulated) OS, not by
+        # network silence the shared-memory device never produces.
+        if self.session.death_controller is not None:
+            self.session.death_controller.node_of_rank = {
+                rank: node for rank, node in enumerate(node_of_rank)
+            }
+
         # MPI environments and devices.
         for process in processes:
             node = config.nodes[node_of_rank[process.rank]]
@@ -104,6 +113,11 @@ class MPIWorld:
                 byte_order=node.byte_order,
                 heterogeneity_conversion=config.heterogeneity_conversion,
             )
+            if self.session.detector is not None:
+                from repro.mpi.ft import FTState
+                # Installed before make_comm_world so every communicator
+                # registers with the FT layer from birth.
+                env.ft = FTState(env, self.session.detector)
             self.envs.append(env)
 
         ranks_by_node: dict[int, list[int]] = defaultdict(list)
@@ -134,6 +148,12 @@ class MPIWorld:
                                if isinstance(e.inter_device, ChP4Device)})
             if inter is not None:
                 inter.start()
+        if self.session.detector is not None:
+            for env in self.envs:
+                if isinstance(env.inter_device, ChMadDevice):
+                    env.inter_device.start_heartbeats(self.session.detector)
+                if env.ft is not None:
+                    env.ft.start()
 
     def _make_inter_device(self, env: MPIEnv, channels: dict):
         config = self.config
@@ -220,6 +240,12 @@ class MPIWorld:
 
     def shutdown(self) -> None:
         """MPI_Finalize: stop device polling threads, drain the engine."""
+        for env in self.envs:
+            if env.ft is not None:
+                # Withdraw the FT control listeners' pending receives
+                # before the leak audit: they are infrastructure, not
+                # application requests.
+                env.ft.stop()
         checker = self.engine.checker
         if checker.enabled:
             # Leak audit before teardown frees everything: leftover

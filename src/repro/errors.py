@@ -162,5 +162,33 @@ class MPIRequestError(MPIError):
     error_class = "MPI_ERR_REQUEST"
 
 
+class MPIProcFailedError(MPIError):
+    """A peer process involved in the operation is dead (ULFM-style).
+
+    Raised instead of hanging: pending sends/recvs/waits and collectives
+    that can no longer complete because a participating rank died resolve
+    to this error.  ``failed_rank`` is the *world* rank that was declared
+    dead (when a single culprit is known).
+    """
+
+    error_class = "MPI_ERR_PROC_FAILED"
+
+    def __init__(self, message: str, failed_rank: int | None = None):
+        super().__init__(message)
+        self.failed_rank = failed_rank
+
+
+class MPIRevokedError(MPIError):
+    """The communicator was revoked (``Communicator.revoke``).
+
+    Every subsequent (and pending) operation on a revoked communicator
+    raises this instead of blocking — the ULFM contract that lets
+    survivors abandon a broken communication pattern and regroup via
+    ``shrink()``.
+    """
+
+    error_class = "MPI_ERR_REVOKED"
+
+
 class ConfigurationError(ReproError):
     """Raised for invalid cluster/session configuration."""

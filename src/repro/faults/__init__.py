@@ -13,6 +13,10 @@ fully determines every injected fault, so faulty runs replay
 bit-for-bit.
 """
 
+from repro.faults.death import (
+    DeathController,
+    FailureDetector,
+)
 from repro.faults.injector import (
     CORRUPT,
     DELIVER,
@@ -24,6 +28,7 @@ from repro.faults.plan import (
     FabricFaults,
     FaultPlan,
     LinkDown,
+    NodeDeath,
     fabric_death,
     lossy_plan,
 )
@@ -32,11 +37,14 @@ __all__ = [
     "CORRUPT",
     "DELIVER",
     "DROP",
+    "DeathController",
+    "FailureDetector",
     "FabricFaults",
     "FaultDecision",
     "FaultInjector",
     "FaultPlan",
     "LinkDown",
+    "NodeDeath",
     "fabric_death",
     "lossy_plan",
 ]

@@ -90,6 +90,26 @@ def fabric_death(at: int) -> FabricFaults:
 
 
 @dataclass(frozen=True)
+class NodeDeath:
+    """One rank dies at ``at`` ns: its tasks are killed and its NICs go
+    silent on *every* fabric, permanently.
+
+    This is the process-failure model: nothing is ever announced to the
+    survivors — the only observable symptom is the wire going dark, which
+    the ch_mad failure detector must turn into a peer-death declaration.
+    """
+
+    rank: int                            # world rank of the victim
+    at: int                              # ns, moment of death
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultError("NodeDeath.rank must be >= 0")
+        if self.at < 0:
+            raise FaultError("NodeDeath.at must be >= 0")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Fault specs per fabric name, plus the seed for random decisions.
 
@@ -101,6 +121,13 @@ class FaultPlan:
 
     fabrics: dict[str, FabricFaults] = field(default_factory=dict)
     seed: int = 0
+    #: Scheduled process failures (world rank, time) — see NodeDeath.
+    deaths: tuple[NodeDeath, ...] = ()
+
+    def __post_init__(self) -> None:
+        ranks = [death.rank for death in self.deaths]
+        if len(ranks) != len(set(ranks)):
+            raise FaultError("FaultPlan.deaths kills the same rank twice")
 
     def spec_for(self, fabric_name: str) -> FabricFaults | None:
         spec = self.fabrics.get(fabric_name)
@@ -108,6 +135,11 @@ class FaultPlan:
             return spec
         from repro.networks import base_protocol
         return self.fabrics.get(base_protocol(fabric_name))
+
+    @classmethod
+    def node_death(cls, rank: int, at: int, seed: int = 0) -> "FaultPlan":
+        """Shorthand plan: world rank ``rank`` dies at ``at`` ns."""
+        return cls(seed=seed, deaths=(NodeDeath(rank=rank, at=at),))
 
 
 def lossy_plan(rate: float, fabrics: tuple[str, ...] = ("tcp", "sisci", "bip"),

@@ -165,7 +165,14 @@ class ReliableTransport:
         """
         pending = PendingSend(wire=wire, nbytes=wire.wire_bytes)
         conn.unacked[wire.sequence] = pending
-        send_port, dst_endpoint = self.route(conn.port, conn.remote_rank)
+        try:
+            send_port, dst_endpoint = self.route(conn.port, conn.remote_rank)
+        except FailoverExhaustedError:
+            # No path at all: ULFM calls that rank dead.  Tell the
+            # detector (it drains this connection) and let the error
+            # surface to the sender, who converts it to an MPI failure.
+            self._notify_unreachable(conn.remote_rank)
+            raise
         if send_port is not conn.port:
             self._count_reroute(conn, 1)
         yield from send_port.endpoint.send_message(dst_endpoint,
@@ -183,6 +190,8 @@ class ReliableTransport:
         )
 
     def _on_timeout(self, conn: "Connection", seq: int) -> None:
+        if self.process.dead:
+            return
         pending = conn.unacked.get(seq)
         if pending is None or (pending.timer is not None
                                and pending.timer.cancelled):
@@ -213,10 +222,20 @@ class ReliableTransport:
 
         def body() -> Generator:
             for pending in pendings:
+                if self.process.dead:
+                    return
                 if conn.unacked.get(pending.wire.sequence) is not pending:
                     continue  # acked while this thread waited for the CPU
-                send_port, dst_endpoint = self.route(conn.port,
-                                                     conn.remote_rank)
+                try:
+                    send_port, dst_endpoint = self.route(conn.port,
+                                                         conn.remote_rank)
+                except FailoverExhaustedError:
+                    # With the rank-failure model the detector turns this
+                    # into a peer-death declaration; without it the error
+                    # must surface (a totally dead fabric aborts the run).
+                    if not self._notify_unreachable(conn.remote_rank):
+                        raise
+                    return
                 if send_port is not conn.port:
                     self._count_reroute(conn, 1)
                 yield from send_port.endpoint.send_message(
@@ -245,6 +264,19 @@ class ReliableTransport:
             ins.count("transport.acks", 1, channel=port.channel.name,
                       protocol=port.channel.protocol, rank=port.rank)
 
+    def _notify_unreachable(self, remote_rank: int) -> bool:
+        """A rank no surviving channel reaches is dead by definition.
+
+        Returns True when a failure detector handled the verdict (the
+        caller may swallow the routing error), False when no rank-failure
+        model is armed and the error must propagate as before.
+        """
+        detector = self.monitor.detector if self.monitor is not None else None
+        if detector is None:
+            return False
+        detector.on_unreachable(remote_rank)
+        return True
+
     def _count_reroute(self, conn: "Connection", amount: int) -> None:
         ins = self.engine.instruments
         if ins.enabled:
@@ -256,6 +288,8 @@ class ReliableTransport:
 
     def receive(self, port: "ChannelPort", delivery: "Delivery") -> None:
         """Admit one delivery: checksum, ack, deduplicate, reorder."""
+        if self.process.dead:
+            return
         wire = delivery.payload
         src = wire.source_rank
         ins = self.engine.instruments
@@ -301,7 +335,14 @@ class ReliableTransport:
                      dest_rank=src_rank, ack_seq=seq)
 
         def body() -> Generator:
-            send_port, dst_endpoint = self.route(port, src_rank)
+            if self.process.dead:
+                return
+            try:
+                send_port, dst_endpoint = self.route(port, src_rank)
+            except FailoverExhaustedError:
+                if not self._notify_unreachable(src_rank):
+                    raise
+                return
             yield from send_port.endpoint.send_message(dst_endpoint,
                                                        ACK_WIRE_BYTES, ack)
 
@@ -340,6 +381,12 @@ class ChannelHealthMonitor:
         #: Connection failures on one channel before it is declared dead.
         self.death_threshold = death_threshold
         self._failures: dict[int, int] = {}
+        #: Session :class:`~repro.faults.death.FailureDetector` (None
+        #: when the fault plan kills no ranks).  When present it
+        #: adjudicates every connection failure *before* the channel
+        #: machinery: "peer dead, escalate to MPI" and "channel dead,
+        #: fail over" are different diagnoses of the same timeout.
+        self.detector = None
 
     def connection_failed(self, conn: "Connection",
                           error: TransportError) -> None:
@@ -352,6 +399,17 @@ class ChannelHealthMonitor:
             ins.emit("transport.failure", channel=channel.name,
                      rank=conn.port.rank, dst=conn.remote_rank,
                      error=str(error))
+        if self.detector is not None:
+            from repro.faults.death import CHANNEL_SUSPECT, PEER_DEAD
+            verdict = self.detector.on_transport_failure(conn, error)
+            if verdict == PEER_DEAD:
+                return  # traffic drained; MPI raises ERR_PROC_FAILED
+            if verdict != CHANNEL_SUSPECT:
+                # Undecided: silence is growing but below the threshold.
+                # Reset the retry budget and keep hammering — either an
+                # ack refreshes the peer or silence crosses the line.
+                self._failover_connection(conn)
+                return
         if channel.dead:
             self._failover_connection(conn)
             return

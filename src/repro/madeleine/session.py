@@ -41,6 +41,12 @@ class MadProcess:
         #: Reliability engine; installed by the session *before* channels
         #: are opened (ChannelPorts snapshot it).  None = trusted networks.
         self.transport: ReliableTransport | None = None
+        #: Set by the DeathController the instant this process dies: its
+        #: threads are gone and its NICs are dark on every fabric.
+        self.dead: bool = False
+        #: Session failure detector (None when the plan has no deaths);
+        #: every delivery feeds it piggybacked liveness evidence.
+        self.detector = None
         self._endpoints: dict[str, ProtocolEndpoint] = {}
         self._ports_by_channel: dict[int, ChannelPort] = {}
         #: Multirail striping stream state (see repro.madeleine.striping):
@@ -87,7 +93,16 @@ class MadProcess:
         self._ports_by_channel[port.channel.id] = port
 
     def _demux_delivery(self, delivery: Delivery) -> None:
+        if self.dead:
+            return  # a delivery racing the moment of death: dropped
         wire = delivery.payload
+        if self.detector is not None:
+            # Piggybacked liveness: data, acks and heartbeats all prove
+            # their source was alive when it transmitted (even corrupted
+            # deliveries — the bytes arrived, the peer exists).
+            source = getattr(wire, "source_rank", None)
+            if source is not None:
+                self.detector.heard_from(source)
         channel_id = getattr(wire, "channel_id", None)
         port = self._ports_by_channel.get(channel_id)
         if port is None:
@@ -120,13 +135,19 @@ class MadeleineSession:
     """A running Madeleine instance across several simulated processes."""
 
     def __init__(self, engine: Engine | None = None, fault_plan=None,
-                 reliable: bool = False):
+                 reliable: bool = False, ft: bool = False):
         self.engine = engine or Engine()
         #: A FaultPlan makes the fabrics misbehave; faults without
         #: reliability would silently lose application data, so a plan
         #: forces the reliable transport on.
         self.fault_plan = fault_plan
-        self.reliable = reliable or fault_plan is not None
+        #: The rank-failure model is armed by an explicit ``ft`` request
+        #: or by a plan that actually kills ranks — otherwise the
+        #: fault-tolerance machinery does not exist and the simulation is
+        #: bit-identical to a build without it.
+        self.ft = ft or (fault_plan is not None and bool(fault_plan.deaths))
+        #: Detection rides the reliable transport's timeouts: ft forces it.
+        self.reliable = reliable or fault_plan is not None or self.ft
         self.health: ChannelHealthMonitor | None = (
             ChannelHealthMonitor(self.engine) if self.reliable else None
         )
@@ -134,6 +155,17 @@ class MadeleineSession:
         if fault_plan is not None:
             from repro.faults.injector import FaultInjector
             self._injector = FaultInjector(self.engine, fault_plan)
+        self.detector = None
+        self.death_controller = None
+        if self.ft:
+            from repro.faults.death import DeathController, FailureDetector
+            self.detector = FailureDetector(self.engine, self)
+            if self.health is not None:
+                self.health.detector = self.detector
+            if fault_plan is not None and fault_plan.deaths:
+                self.death_controller = DeathController(
+                    self.engine, self, fault_plan, self.detector
+                )
         self.fabrics: dict[str, NetworkFabric] = {}
         self.processes: list[MadProcess] = []
         self.channels: dict[str, Channel] = {}
@@ -172,6 +204,7 @@ class MadeleineSession:
                              memory=memory, switch_cost=switch_cost)
         if self.reliable:
             process.transport = ReliableTransport(process, self.health)
+        process.detector = self.detector
         self.processes.append(process)
         for protocol in networks:
             if protocol not in self.fabrics:

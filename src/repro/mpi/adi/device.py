@@ -80,6 +80,10 @@ class ProgressEngine:
         #: Diagnostics.
         self.eager_delivered = 0
         self.rndv_completed = 0
+        #: Fault-tolerance state of the owning env (None = FT off).
+        #: When set, arrivals from dead ranks or on revoked/failed
+        #: contexts are discarded before they can reach user code.
+        self.ft = None
 
     # -- registry ------------------------------------------------------------
 
@@ -107,6 +111,9 @@ class ProgressEngine:
             copy_on_match = charge_copy
         if copy_on_buffer is None:
             copy_on_buffer = charge_copy
+        if self.ft is not None and self.ft.should_discard(envelope):
+            self.ft.note_discard(envelope)
+            return
         data = yield from self._heterogeneity(envelope, data)
         handle = self.posted.match(envelope)
         if handle is not None:
@@ -130,12 +137,16 @@ class ProgressEngine:
     def deliver_rndv_request(self, envelope: Envelope, token: Any,
                              device: "Device") -> Generator:
         """A rendezvous request arrived (MAD_REQUEST_PKT path)."""
+        if self.ft is not None and self.ft.should_discard(envelope):
+            self.ft.note_discard(envelope, send_id=getattr(token, "send_id", 0))
+            return
         handle = self.posted.match(envelope)
         if handle is not None:
             checker = self.runtime.engine.checker
             if checker.enabled:
                 checker.on_match(envelope, self.process.rank)
             self._check_truncation(handle, envelope)
+            handle.rndv_source = envelope.source
             sync = self.register_sync(handle)
             # Polling threads must not send: spawn the ack thread (§4.2.3).
             self.runtime.spawn_temporary(
@@ -152,8 +163,17 @@ class ProgressEngine:
     def deliver_rndv_data(self, sync_id: int, envelope: Envelope,
                           data: Any) -> Generator:
         """The zero-copy data packet arrived: finish the transaction."""
+        if self.ft is not None and self.ft.should_discard(envelope):
+            self.sync_registry.pop(sync_id, None)
+            self.ft.note_discard(envelope)
+            return
         sync = self.sync_registry.pop(sync_id, None)
         if sync is None:
+            if self.ft is not None:
+                # The FT layer drained this sync entry when it failed the
+                # receive; the straggler data packet is expected.
+                self.ft.note_discard(envelope)
+                return
             raise MPIError(f"rendezvous data for unknown sync_id {sync_id}")
         # Zero-copy: the data lands in the user buffer; no memcpy charge
         # (heterogeneity conversion, when needed, is charged).

@@ -46,6 +46,21 @@ class PostedQueue:
         except ValueError:
             return False
 
+    def take_matching(self, predicate) -> list[RecvHandle]:
+        """Remove and return every posted receive satisfying ``predicate``.
+
+        Used by the FT layer to pull out receives doomed by a peer death
+        or a communicator revocation so they can be completed with a
+        structured error instead of hanging forever.
+        """
+        taken = [h for h in self._entries if predicate(h)]
+        if taken:
+            self._entries = [h for h in self._entries if not predicate(h)]
+        return taken
+
+    def __iter__(self):
+        return iter(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -96,6 +111,24 @@ class UnexpectedQueue:
                     self.buffered_bytes -= env.size
                 return entry
         return None
+
+    def purge(self, predicate) -> list[UnexpectedEntry]:
+        """Remove and return every buffered arrival satisfying ``predicate``.
+
+        FT path: arrivals from a dead rank (or on a revoked context) must
+        never match a later receive; purged EAGER entries release their
+        buffered bytes.
+        """
+        purged = [e for e in self._entries if predicate(e)]
+        if purged:
+            self._entries = [e for e in self._entries if not predicate(e)]
+            for entry in purged:
+                if entry.kind is UnexpectedKind.EAGER:
+                    self.buffered_bytes -= entry.envelope.size
+        return purged
+
+    def __iter__(self):
+        return iter(self._entries)
 
     def peek(self, context_id: int, source_pattern: int,
              tag_pattern: int) -> UnexpectedEntry | None:

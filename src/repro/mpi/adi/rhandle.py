@@ -52,6 +52,10 @@ class RecvHandle:
         self.status = Status()
         self.data: Any = None
         self.sync: RndvSync | None = None
+        #: World rank of the matched rendezvous sender (set when the
+        #: OK_TO_SEND goes out) — lets the FT layer fail a receive whose
+        #: data packet will never arrive because that sender died.
+        self.rndv_source: int | None = None
 
     def make_sync(self) -> RndvSync:
         """Attach a rendezvous sync structure (idempotent per transaction)."""
@@ -105,6 +109,12 @@ class SendHandle:
         self.ack_flag = Flag(name="shandle-ack")
         self.flag = Flag(name="shandle-done")
         self.on_request_sent = None
+        #: World rank this rendezvous targets (set by the device) — how
+        #: the FT layer finds in-flight sends towards a dead peer.
+        self.dest_world: int | None = None
+        #: Structured failure installed by the FT layer before it
+        #: releases :attr:`ack_flag` with ``None`` (peer death / revoke).
+        self.error: Exception | None = None
 
     def notify_request_sent(self) -> None:
         callback, self.on_request_sent = self.on_request_sent, None

@@ -55,6 +55,8 @@ class Communicator:
         #: Per-communicator collective algorithm selection
         #: (operation -> registry name); see :meth:`set_coll_algorithm`.
         self._coll_algorithms: dict[str, str] = {}
+        if env.ft is not None:
+            env.ft.register_comm(self)
 
     #: True on intercommunicators (MPI_Comm_test_inter).
     is_inter = False
@@ -90,6 +92,64 @@ class Communicator:
     def _check_live(self) -> None:
         if self.freed:
             raise MPICommError("operation on a freed communicator")
+        ft = self.env.ft
+        if ft is not None and ft.is_revoked(self):
+            from repro.errors import MPIRevokedError
+            raise MPIRevokedError(
+                f"operation on revoked communicator (context "
+                f"{self.context_id})")
+
+    # =====================================================================
+    # fault tolerance (ULFM: revoke / shrink / agree)
+    # =====================================================================
+
+    def _ft(self):
+        ft = self.env.ft
+        if ft is None:
+            raise MPICommError(
+                "fault-tolerance API requires a cluster with the failure "
+                "model enabled (ClusterConfig.ft or a plan with deaths)")
+        return ft
+
+    def revoke(self) -> None:
+        """MPIX_Comm_revoke: poison this communicator on every rank.
+
+        Local and non-blocking; the revocation floods the group
+        reliably.  Subsequent operations on this communicator raise
+        :class:`~repro.errors.MPIRevokedError` everywhere.
+        """
+        if self.freed:
+            raise MPICommError("operation on a freed communicator")
+        self._ft().revoke(self)
+
+    def shrink(self) -> Generator:
+        """MPIX_Comm_shrink: evaluates to a new communicator over the
+        surviving members (dense ranks, old order preserved).  Works on
+        a revoked communicator — that is its purpose."""
+        if self.freed:
+            raise MPICommError("operation on a freed communicator")
+        shrunk = yield from self._ft().shrink(self)
+        return shrunk
+
+    def agree(self, value: int = 1) -> Generator:
+        """MPIX_Comm_agree: evaluates to the bitwise AND of every
+        survivor's ``value`` (fault-tolerant agreement)."""
+        if self.freed:
+            raise MPICommError("operation on a freed communicator")
+        result = yield from self._ft().agree(self, value)
+        return result
+
+    def _run_coll(self, gen: Generator) -> Generator:
+        """FT wrapper for user collectives: pre-flight check, and flood
+        the broken collective context when a failure surfaces mid-flight
+        so the whole group unblocks with the same error.  With FT off
+        this is a plain delegation."""
+        ft = self.env.ft
+        if ft is None:
+            result = yield from gen
+            return result
+        result = yield from ft.run_collective(self, gen)
+        return result
 
     # =====================================================================
     # point-to-point, object flavour (lowercase)
@@ -323,105 +383,114 @@ class Communicator:
         self._coll_algorithms[operation] = name
 
     def barrier(self, algorithm: str | None = None) -> Generator:
-        yield from _collreg.resolve(self, "barrier", algorithm)(self)
+        yield from self._run_coll(
+            _collreg.resolve(self, "barrier", algorithm)(self))
 
     def bcast(self, obj: Any, root: int = 0,
               algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "bcast", algorithm)
-        result = yield from fn(self, obj, root)
+        result = yield from self._run_coll(fn(self, obj, root))
         return result
 
     def reduce(self, obj: Any, op: Op = SUM, root: int = 0,
                algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "reduce", algorithm)
-        result = yield from fn(self, obj, op, root)
+        result = yield from self._run_coll(fn(self, obj, op, root))
         return result
 
     def allreduce(self, obj: Any, op: Op = SUM,
                   algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "allreduce", algorithm)
-        result = yield from fn(self, obj, op)
+        result = yield from self._run_coll(fn(self, obj, op))
         return result
 
     def gather(self, obj: Any, root: int = 0,
                algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "gather", algorithm)
-        result = yield from fn(self, obj, root)
+        result = yield from self._run_coll(fn(self, obj, root))
         return result
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0,
                 algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "scatter", algorithm)
-        result = yield from fn(self, objs, root)
+        result = yield from self._run_coll(fn(self, objs, root))
         return result
 
     def allgather(self, obj: Any, algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "allgather", algorithm)
-        result = yield from fn(self, obj)
+        result = yield from self._run_coll(fn(self, obj))
         return result
 
     def alltoall(self, objs: Sequence[Any],
                  algorithm: str | None = None) -> Generator:
         fn = _collreg.resolve(self, "alltoall", algorithm)
-        result = yield from fn(self, objs)
+        result = yield from self._run_coll(fn(self, objs))
         return result
 
     def reduce_scatter(self, objs: Sequence[Any], op: Op = SUM) -> Generator:
-        result = yield from _coll.reduce_scatter(self, objs, op)
+        result = yield from self._run_coll(_coll.reduce_scatter(self, objs, op))
         return result
 
     def alltoallv(self, objs: Sequence[Any]) -> Generator:
-        result = yield from _coll.alltoallv(self, objs)
+        result = yield from self._run_coll(_coll.alltoallv(self, objs))
         return result
 
     def scan(self, obj: Any, op: Op = SUM) -> Generator:
-        result = yield from _coll.scan(self, obj, op)
+        result = yield from self._run_coll(_coll.scan(self, obj, op))
         return result
 
     def exscan(self, obj: Any, op: Op = SUM) -> Generator:
-        result = yield from _coll.exscan(self, obj, op)
+        result = yield from self._run_coll(_coll.exscan(self, obj, op))
         return result
 
     # Buffer-flavour collectives (numpy arrays, elementwise ops).
 
     def Bcast(self, array: np.ndarray, root: int = 0,
               algorithm: str | None = None) -> Generator:
-        yield from _coll.Bcast(self, array, root, algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Bcast(self, array, root, algorithm=algorithm))
 
     def Reduce(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
                op: Op = SUM, root: int = 0,
                algorithm: str | None = None) -> Generator:
-        yield from _coll.Reduce(self, sendarr, recvarr, op, root,
-                                algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Reduce(self, sendarr, recvarr, op, root,
+                         algorithm=algorithm))
 
     def Allreduce(self, sendarr: np.ndarray, recvarr: np.ndarray,
                   op: Op = SUM, algorithm: str | None = None) -> Generator:
-        yield from _coll.Allreduce(self, sendarr, recvarr, op,
-                                   algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Allreduce(self, sendarr, recvarr, op,
+                            algorithm=algorithm))
 
     def Gather(self, sendarr: np.ndarray, recvarr: np.ndarray | None,
                root: int = 0, algorithm: str | None = None) -> Generator:
-        yield from _coll.Gather(self, sendarr, recvarr, root,
-                                algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Gather(self, sendarr, recvarr, root,
+                         algorithm=algorithm))
 
     def Scatter(self, sendarr: np.ndarray | None,
                 recvarr: np.ndarray, root: int = 0,
                 algorithm: str | None = None) -> Generator:
-        yield from _coll.Scatter(self, sendarr, recvarr, root,
-                                 algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Scatter(self, sendarr, recvarr, root,
+                          algorithm=algorithm))
 
     def Allgather(self, sendarr: np.ndarray, recvarr: np.ndarray,
                   algorithm: str | None = None) -> Generator:
-        yield from _coll.Allgather(self, sendarr, recvarr,
-                                   algorithm=algorithm)
+        yield from self._run_coll(
+            _coll.Allgather(self, sendarr, recvarr,
+                            algorithm=algorithm))
 
     def Gatherv(self, sendarr: np.ndarray, recvspec: tuple | None,
                 root: int = 0) -> Generator:
-        yield from _coll.Gatherv(self, sendarr, recvspec, root)
+        yield from self._run_coll(_coll.Gatherv(self, sendarr, recvspec,
+                                                 root))
 
     def Scatterv(self, sendspec: tuple | None, recvarr: np.ndarray,
                  root: int = 0) -> Generator:
-        yield from _coll.Scatterv(self, sendspec, recvarr, root)
+        yield from self._run_coll(_coll.Scatterv(self, sendspec, recvarr,
+                                                  root))
 
     def create_cart(self, dims, periods=None, reorder: bool = False) -> Generator:
         """Collective: attach a Cartesian topology (MPI_Cart_create)."""

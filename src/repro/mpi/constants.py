@@ -32,6 +32,19 @@ CONTEXTS_PER_COMM = 2
 #: Default size attributed to an object whose size cannot be inferred.
 DEFAULT_OBJECT_SIZE = 64
 
+#: Status.error codes (MPI reserves 0 for success).
+ERR_TRUNCATE = 15
+ERR_PROC_FAILED = 75
+ERR_REVOKED = 76
+
+#: Context id of the fault-tolerance control plane (revoke floods and
+#: collective-failure notices).  Far above anything
+#: ``MPIEnv.allocate_context`` can reach, so the FT listener's permanent
+#: ANY_SOURCE/ANY_TAG receive can never steal application traffic.
+FT_CONTROL_CONTEXT = 10**9
+#: Context id of FT synchronizing traffic (shrink barriers, agree trees).
+FT_SYNC_CONTEXT = 10**9 + 2
+
 
 def infer_size(obj: object) -> int:
     """Best-effort wire size of a Python object, in bytes.

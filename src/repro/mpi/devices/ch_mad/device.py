@@ -24,9 +24,11 @@ from typing import Any, Generator
 from dataclasses import dataclass
 
 from repro.errors import (
+    ChannelDeadError,
     ConfigurationError,
     FailoverExhaustedError,
     MPIError,
+    MPIProcFailedError,
     RouteError,
 )
 from repro.networks import base_protocol
@@ -50,7 +52,7 @@ from repro.mpi.devices.ch_mad.switchpoints import (
     ChMadTuning,
     elect_threshold,
 )
-from repro.sim.coroutines import charge, wait
+from repro.sim.coroutines import charge, sleep, wait
 
 
 @dataclass(frozen=True)
@@ -102,6 +104,12 @@ class ChMadDevice(Device):
         self._pollers: list[ChannelPoller] = []
         self.term_received = 0
         self.packets_relayed = 0
+        self.heartbeats_received = 0
+        #: Session failure detector; set by :meth:`start_heartbeats` when
+        #: the run is fault-tolerant.  When present, stale rendezvous
+        #: acks (whose pending send the FT layer already failed) are
+        #: tolerated instead of fatal.
+        self.detector = None
         #: context id -> lane index, installed by the multi-lane
         #: collectives (:mod:`repro.mpi.coll.multilane`).  Traffic on an
         #: assigned context is steered to rail ``lane % live rails``
@@ -137,6 +145,55 @@ class ChMadDevice(Device):
             "chmad.reelect_threshold", rank=self.world_rank,
             dead=channel.name, old=old, new=self.eager_threshold,
         )
+
+    def start_heartbeats(self, detector) -> None:
+        """Spawn the low-rate liveness heartbeat daemon (FT runs only).
+
+        Piggybacked liveness covers busy periods for free; the heartbeat
+        covers *idle* ones, where a dead peer's silence would otherwise
+        be indistinguishable from a quiet one.  Beats go out on **every**
+        live channel towards each peer, not just the preferred one — one
+        fabric dying must not starve the liveness evidence that keeps
+        the detector from misdiagnosing the peer itself as dead.
+        """
+        self.detector = detector
+
+        def body() -> Generator:
+            process = self.progress.process
+            while True:
+                yield sleep(detector.heartbeat_interval)
+                if process.dead:
+                    return
+                yield from self._send_heartbeats()
+
+        self.progress.runtime.spawn(body(), name="ft-heartbeat", daemon=True)
+
+    def _send_heartbeats(self) -> Generator:
+        engine = self.progress.runtime.engine
+        header = ChMadHeader(MadPktType.MAD_HB_PKT)
+        for name in sorted(self.ports):
+            port = self.ports[name]
+            if port.channel.dead:
+                continue
+            tuning = self.tuning[base_protocol(port.channel.protocol)]
+            for peer in sorted(port.channel.ports):
+                if peer == self.world_rank or peer in self.detector.dead_ranks:
+                    continue
+                try:
+                    yield charge(tuning.send_handling)
+                    message = port.begin_packing(peer)
+                    yield from message.pack(header, CH_MAD_HEADER_BYTES,
+                                            SEND_CHEAPER, RECEIVE_EXPRESS)
+                    yield from message.end_packing()
+                except FailoverExhaustedError:
+                    self.detector.on_unreachable(peer)
+                except (ChannelDeadError, RouteError):
+                    continue  # the channel died mid-beat; next round adapts
+                else:
+                    ins = engine.instruments
+                    if ins.enabled:
+                        ins.count("ft.heartbeats", 1, rank=self.world_rank,
+                                  protocol=port.channel.protocol)
 
     def shutdown(self) -> None:
         for poller in self._pollers:
@@ -336,6 +393,7 @@ class ChMadDevice(Device):
 
     def send_rndv(self, dest_world: int, shandle: SendHandle) -> Generator:
         """Rendezvous, sender side: request, await ack, send data (§4.2.2)."""
+        shandle.dest_world = dest_world
         self._pending_sends[shandle.send_id] = shandle
         yield from self._transmit_packet(
             dest_world,
@@ -351,6 +409,15 @@ class ChMadDevice(Device):
             f"rendezvous SENDOK from rank {dest_world} "
             f"(send_id={shandle.send_id})")
         sync_id = yield wait(shandle.ack_flag)
+        if sync_id is None:
+            # The FT layer failed this send (peer death / revoke) and
+            # released the ack flag with no sync address.  Surface the
+            # structured error instead of transmitting into the void.
+            self._pending_sends.pop(shandle.send_id, None)
+            raise shandle.error or MPIProcFailedError(
+                f"rendezvous to rank {dest_world} aborted: peer failed",
+                failed_rank=dest_world,
+            )
         # Step 3: data destination is known — zero-copy transfer.
         protocol = self._protocol_towards(dest_world)
         tuning = self.tuning[base_protocol(protocol)]
@@ -397,5 +464,13 @@ class ChMadDevice(Device):
     def _complete_ack(self, send_id: int, sync_id: int) -> None:
         shandle = self._pending_sends.pop(send_id, None)
         if shandle is None:
+            if self.detector is not None:
+                # FT already failed this send (its peer was declared
+                # dead, or the comm revoked) — the straggler SENDOK from
+                # a rank that was merely slow is expected, not fatal.
+                ins = self.progress.runtime.engine.instruments
+                if ins.enabled:
+                    ins.count("ft.stale_acks", 1, rank=self.world_rank)
+                return
             raise MPIError(f"MAD_SENDOK_PKT for unknown send id {send_id}")
         shandle.ack_flag.set(sync_id)

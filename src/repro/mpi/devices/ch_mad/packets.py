@@ -38,6 +38,7 @@ class MadPktType(enum.IntEnum):
     MAD_SENDOK_PKT = 4    # rendezvous acknowledgement
     MAD_TERM_PKT = 5      # program termination
     MAD_FWD_PKT = 6       # gateway-forwarded packet (extension, §6)
+    MAD_HB_PKT = 7        # liveness heartbeat (fault tolerance extension)
 
 
 #: Extra routing fields carried by a forwarded packet's header

@@ -56,6 +56,10 @@ def dispatch_local(device: "ChMadDevice", header: ChMadHeader,
                                                      header.envelope, body)
     elif kind is MadPktType.MAD_TERM_PKT:
         device.term_received += 1
+    elif kind is MadPktType.MAD_HB_PKT:
+        # Liveness was already credited where every delivery is: the
+        # process demux (piggybacked detection).  Nothing else to do.
+        device.heartbeats_received += 1
     else:  # pragma: no cover - defensive
         raise MPIError(f"unknown ch_mad packet type {kind!r}")
 

@@ -129,6 +129,13 @@ class SmpPlugDevice(Device):
                                             send_id=shandle.send_id))
         shandle.notify_request_sent()
         sync_id = yield wait(shandle.ack_flag)
+        if sync_id is None:
+            # The FT layer aborted this rendezvous (peer death / revoke).
+            self._pending_sends.pop(shandle.send_id, None)
+            from repro.errors import MPIProcFailedError
+            raise shandle.error or MPIProcFailedError(
+                f"rendezvous to rank {dest_world} aborted: peer failed",
+                failed_rank=dest_world)
         # Single direct copy into the receiver's user buffer.
         yield charge(SMP_OVERHEAD
                      + self.progress.memory.copy_cost(shandle.envelope.size))
@@ -157,6 +164,13 @@ class SmpPlugDevice(Device):
         elif packet.kind is SmpKind.RNDV_ACK:
             shandle = self._pending_sends.pop(packet.send_id, None)
             if shandle is None:
+                if self.progress.ft is not None:
+                    # Stale ack for a send the FT layer already aborted.
+                    ins = self.progress.runtime.engine.instruments
+                    if ins.enabled:
+                        ins.count("ft.stale_acks", 1, rank=self.world_rank,
+                                  device="smp_plug")
+                    return
                 raise MPIError(f"smp ack for unknown send {packet.send_id}")
             shandle.ack_flag.set(packet.sync_id)
         elif packet.kind is SmpKind.RNDV_DATA:

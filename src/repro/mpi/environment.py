@@ -41,6 +41,9 @@ class MPIEnv:
         self._next_context = WORLD_CONTEXT + CONTEXTS_PER_COMM
         self.comm_world: "Communicator | None" = None
         self.finalized = False
+        #: ULFM-style fault-tolerance state (:class:`repro.mpi.ft.FTState`);
+        #: None when the cluster runs without a failure model.
+        self.ft = None
 
     # -- wiring (cluster session) -----------------------------------------------
 

@@ -12,13 +12,26 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.errors import MPIRankError, MPITagError
+from repro.errors import (
+    FailoverExhaustedError,
+    MPIProcFailedError,
+    MPIRankError,
+    MPIRevokedError,
+    MPITagError,
+)
 from repro.mpi.adi.device import clone_payload
 from repro.mpi.adi.packets import Envelope
 from repro.mpi.adi.protocol import TransferMode, select_mode
 from repro.mpi.adi.queues import UnexpectedKind
 from repro.mpi.adi.rhandle import RecvHandle, SendHandle
-from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, infer_size
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ERR_TRUNCATE,
+    PROC_NULL,
+    TAG_UB,
+    infer_size,
+)
 from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.status import Status
 from repro.sim.coroutines import charge, wait
@@ -124,6 +137,13 @@ def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
         return
     env = comm.env
     dest_world = comm._dest_world(dest)
+    if env.ft is not None and ticket is None:
+        # Fault tolerance: fail fast instead of transmitting into a dead
+        # rank or a revoked communicator (nothing has been charged yet).
+        # A pre-issued ticket (isend) must not bail here — it would leave
+        # the ordering gate waiting forever for its turn; the post-gate
+        # re-check below consumes and releases the ticket properly.
+        env.ft.check_send(context_id, dest_world)
     nbytes = infer_size(data) if size is None else int(size)
     device = env.select_device(dest_world)
     envelope = Envelope(context_id, env.rank, tag, nbytes,
@@ -151,6 +171,14 @@ def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
         ins.set_gauge("sendgate.depth", gate.depth, rank=env.rank,
                       dest=dest_world)
     yield from gate.enter(ticket)
+    if env.ft is not None:
+        # Re-check after the gate wait: the peer may have died (or the
+        # comm been revoked) while this send was parked behind others.
+        try:
+            env.ft.check_send(context_id, dest_world)
+        except (MPIProcFailedError, MPIRevokedError):
+            gate.leave()
+            raise
     checker = engine.checker
     if checker.enabled:
         # Recorded *after* the gate admitted this send: gate order is
@@ -162,9 +190,19 @@ def send_impl(comm: "Communicator", data: Any, dest: int, tag: int,
             yield from device.send_eager(dest_world, envelope, payload)
         else:
             shandle = SendHandle(envelope, payload)
+            shandle.dest_world = dest_world
             # The gate opens once the request has secured the match slot.
             shandle.on_request_sent = release
             yield from device.send_rndv(dest_world, shandle)
+    except FailoverExhaustedError as exc:
+        if env.ft is None:
+            raise
+        # Every path to the destination is gone: under the rank-failure
+        # model that *is* peer death (the detector has been told).
+        raise MPIProcFailedError(
+            f"send to rank {dest_world} failed: peer unreachable",
+            failed_rank=dest_world,
+        ) from exc
     finally:
         release()
 
@@ -208,15 +246,23 @@ def isend_impl(comm: "Communicator", data: Any, dest: int, tag: int,
             ins.set_gauge("sendgate.depth", gate.depth, rank=comm.env.rank,
                           dest=dest_world)
 
+    request = SendRequest(done)
+
     def body():
         if pre_charge:
             yield charge(pre_charge)
-        yield from send_impl(comm, payload, dest, tag, size, context_id,
-                             synchronous=synchronous, ticket=ticket)
-        done.set()
+        try:
+            yield from send_impl(comm, payload, dest, tag, size, context_id,
+                                 synchronous=synchronous, ticket=ticket)
+        except (MPIProcFailedError, MPIRevokedError) as exc:
+            # FT failure inside the worker thread: complete the request
+            # and re-raise from the caller's wait()/test().
+            request.error = exc
+        finally:
+            done.set()
 
     comm.env.process.runtime.spawn_temporary(body(), name="isend")
-    return SendRequest(done)
+    return request
 
 
 def irecv_impl(comm: "Communicator", source: int, tag: int,
@@ -234,6 +280,18 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
         return RecvRequest(handle, comm)
     source_world = (ANY_SOURCE if source == ANY_SOURCE
                     else comm._source_world(source))
+    if env.ft is not None:
+        failure = env.ft.recv_precheck(context_id, source_world)
+        if failure is not None:
+            # The source (or the comm) is already known broken: complete
+            # immediately with the structured error instead of posting a
+            # receive that could never match.
+            code, failed_rank = failure
+            handle = RecvHandle(context_id, source_world, tag, capacity)
+            handle.status.error = code
+            handle.status.failed_rank = failed_rank
+            handle.flag.set(handle)
+            return RecvRequest(handle, comm)
     entry = env.progress.unexpected.match(context_id, source_world, tag)
     handle = RecvHandle(context_id, source_world, tag, capacity)
     # Wait-for-graph metadata: a task blocked on this receive waits on
@@ -253,7 +311,7 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
         return request
     if entry.kind is UnexpectedKind.EAGER:
         if capacity is not None and entry.envelope.size > capacity:
-            handle.status.error = 1
+            handle.status.error = ERR_TRUNCATE
         handle.complete(entry.envelope, entry.data)
         request = RecvRequest(handle, comm)
         # The unexpected-buffer -> user-buffer copy is charged by the
@@ -263,6 +321,7 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
     # RNDV_REQUEST: the sender is waiting for our acknowledgement.  A
     # temporary thread sends it (the paper's thread discipline, §4.2.3) —
     # this also keeps irecv itself non-blocking.
+    handle.rndv_source = entry.envelope.source
     sync = env.progress.register_sync(handle)
     token = entry.rndv_token
     env.process.runtime.spawn_temporary(

@@ -120,7 +120,21 @@ class _FlagForwarder:
 
 class SendRequest(Request):
     """Handle for a non-blocking send (paper: a temporary Marcel thread
-    runs the actual transfer, §4.2.3)."""
+    runs the actual transfer, §4.2.3).
+
+    When the transfer thread hits a fault-tolerance error (peer death,
+    revoked communicator) it completes the request anyway and stashes
+    the exception here; ``wait()``/``test()`` re-raise it in the caller,
+    mirroring how a blocking send would have failed.
+    """
+
+    #: Exception stashed by the isend worker thread (None = clean).
+    error: Exception | None = None
+
+    def _result(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return None
 
 
 class RecvRequest(Request):
@@ -159,6 +173,16 @@ class RecvRequest(Request):
     def _result(self) -> tuple[Any, Status]:
         status = self.handle.status
         if status.error:
+            from repro.mpi.constants import ERR_PROC_FAILED, ERR_REVOKED
+            if status.error == ERR_PROC_FAILED:
+                from repro.errors import MPIProcFailedError
+                raise MPIProcFailedError(
+                    f"receive failed: rank {status.failed_rank} died",
+                    failed_rank=status.failed_rank,
+                )
+            if status.error == ERR_REVOKED:
+                from repro.errors import MPIRevokedError
+                raise MPIRevokedError("receive failed: communicator revoked")
             raise MPITruncationError(
                 f"message of {status.count} bytes truncates a receive of "
                 f"capacity {self.handle.capacity}"

@@ -20,6 +20,9 @@ class Status:
     #: World rank of the sender (set on completion; ``source`` holds the
     #: communicator-relative rank, translated by the owning request).
     source_world: int = ANY_SOURCE
+    #: World rank whose death failed this operation (``error`` is
+    #: :data:`~repro.mpi.constants.ERR_PROC_FAILED`); None otherwise.
+    failed_rank: int | None = None
 
     def get_count(self, datatype=None) -> int:
         """Number of ``datatype`` elements received (bytes if None).

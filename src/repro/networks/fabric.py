@@ -59,6 +59,10 @@ class Adapter:
         self.owner = owner
         self.index = index
         self.rx_sink: Callable[[Delivery], None] | None = None
+        #: Set when the owning process died (NodeDeath): the NIC neither
+        #: transmits nor receives, silently — survivors only see the wire
+        #: go dark.
+        self.dead: bool = False
         #: Time the transmit port is next free (serialization occupancy).
         self.tx_free: int = 0
         #: Diagnostics.
@@ -144,6 +148,16 @@ class NetworkFabric:
         poisoned, or delayed.
         """
         corrupted = False
+        if src.dead or dst.dead:
+            # A dead NIC neither sends nor receives: the message silently
+            # vanishes (wire occupancy, if any, was already charged).
+            ins = self.engine.instruments
+            if ins.enabled:
+                ins.count("faults.dropped", 1, fabric=self.name,
+                          reason="node_death")
+                ins.emit("fault.drop", fabric=self.name, src=src.index,
+                         dst=dst.index, nbytes=nbytes, reason="node_death")
+            return arrival
         if self.injector is not None:
             decision = self.injector.decide(self.name, src.index, dst.index,
                                             nbytes)
@@ -181,6 +195,9 @@ class NetworkFabric:
 
     def _deliver(self, delivery: Delivery) -> None:
         dst = delivery.dest
+        if dst.dead or delivery.source.dead:
+            # Death raced an already-scheduled delivery: drop it silently.
+            return
         dst.bytes_received += delivery.nbytes
         dst.messages_received += 1
         src = delivery.source

@@ -1,0 +1,119 @@
+"""Differential fault testing for the structured collective families.
+
+The PR-6 hierarchical (node-aware) and multi-lane collective algorithms
+run their sub-collectives on hidden subcommunicators and temporary
+threads — exactly the machinery most likely to misbehave when the
+reliable transport is busy absorbing network faults underneath.  Each
+test here runs the same collective program twice on the same cluster —
+once clean, once under a PR-2 fault plan (probabilistic drops or a
+transient link-down window; **no rank deaths**) — and requires the
+MPI-level results to be identical: faults below MPI must be invisible
+above it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, EngineConfig, MPIWorld, NodeSpec
+from repro.faults import FabricFaults, FaultPlan, LinkDown
+from repro.mpi.reduce_ops import MAX, SUM
+from repro.units import us
+
+#: Fault plans exercised against every (family, fabric) combination.
+PLANS = {
+    "drops": lambda fabric: FaultPlan(
+        fabrics={fabric: FabricFaults(drop_rate=0.03)}, seed=5),
+    "linkdown": lambda fabric: FaultPlan(
+        fabrics={fabric: FabricFaults(
+            downs=(LinkDown(at=us(150), duration=us(400)),))}, seed=5),
+}
+
+
+def _hier_program(mpi):
+    comm = mpi.comm_world
+    me = comm.rank
+    out = []
+    total = yield from comm.allreduce(me + 1, SUM, algorithm="hier")
+    out.append(("allreduce", total))
+    value = yield from comm.bcast(("blob", 2) if me == 2 else None,
+                                  root=2, algorithm="hier")
+    out.append(("bcast", value))
+    gathered = yield from comm.allgather(me * 3, algorithm="hier")
+    out.append(("allgather", tuple(gathered)))
+    peak = yield from comm.reduce(me, MAX, root=1, algorithm="hier")
+    out.append(("reduce", peak))
+    yield from comm.barrier(algorithm="hier")
+    return tuple(out)
+
+
+def _multilane_program(mpi):
+    comm = mpi.comm_world
+    me = comm.rank
+    out = []
+    data = np.arange(48, dtype=np.float64) * (me + 1)
+    total = yield from comm.allreduce(data, SUM, algorithm="multilane")
+    out.append(("allreduce", tuple(float(v) for v in total)))
+    blob = (b"stripe" * 24) if me == 0 else None
+    value = yield from comm.bcast(blob, root=0, algorithm="multilane")
+    out.append(("bcast", value))
+    blocks = yield from comm.allgather(bytes([65 + me]) * 7,
+                                       algorithm="multilane")
+    out.append(("allgather", tuple(blocks)))
+    return tuple(out)
+
+
+def _run(config_factory, program, fault_plan):
+    config = config_factory()
+    config.fault_plan = fault_plan
+    config.reliable = True  # both runs use the same transport/paths
+    world = MPIWorld(config, engine_config=EngineConfig(
+        seed=2, checker=True))
+    return world, world.run(program)
+
+
+def _hier_config(networks):
+    # Dual-rank SMP nodes: smp_plug inside, ch_mad across — the layering
+    # the hierarchical family decomposes over.
+    return lambda: ClusterConfig(nodes=[
+        NodeSpec(f"smp{i}", networks=networks, processes=2)
+        for i in range(3)])
+
+
+def _multilane_config(rail):
+    # Two rails of one protocol plus an escape fabric for failover.
+    return lambda: ClusterConfig(nodes=[
+        NodeSpec(f"n{i}", networks=(rail, f"{rail}#1", "tcp"))
+        for i in range(4)])
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("networks,faulted", [
+    (("sisci", "tcp"), "sisci"),
+    (("bip", "tcp"), "bip"),
+    (("sisci", "tcp"), "tcp"),
+])
+class TestHierDifferential:
+    def test_results_identical_under_faults(self, plan_name, networks,
+                                            faulted):
+        factory = _hier_config(networks)
+        _w, clean = _run(factory, _hier_program, None)
+        world, faulty = _run(factory, _hier_program,
+                             PLANS[plan_name](faulted))
+        assert faulty == clean, (
+            f"hier collectives changed results under {plan_name} on "
+            f"{faulted}")
+        assert list(world.engine.checker.violations) == []
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("rail", ["sisci", "bip"])
+class TestMultilaneDifferential:
+    def test_results_identical_under_faults(self, plan_name, rail):
+        factory = _multilane_config(rail)
+        _w, clean = _run(factory, _multilane_program, None)
+        world, faulty = _run(factory, _multilane_program,
+                             PLANS[plan_name](rail))
+        assert faulty == clean, (
+            f"multilane collectives changed results under {plan_name} "
+            f"on {rail}")
+        assert list(world.engine.checker.violations) == []

@@ -103,6 +103,14 @@ def test_fault_tolerance_demo(capsys):
     assert "byte-identical" in out
 
 
+def test_shrink_and_continue_demo(capsys):
+    run_example("shrink_and_continue_demo.py")
+    out = capsys.readouterr().out
+    assert "what the rank death cost" in out
+    assert "every survivor saw ERR_PROC_FAILED(failed=2)" in out
+    assert "recovery is deterministic" in out
+
+
 def test_trace_analysis(capsys):
     run_example("trace_analysis.py")
     out = capsys.readouterr().out

@@ -101,7 +101,7 @@ def test_unfuzzed_run_is_the_deterministic_baseline():
 
 def test_workloads_registry_is_complete():
     assert set(WORKLOADS) == {"pingpong", "collectives", "hier_collectives",
-                              "multilane", "mixed", "lossy"}
+                              "multilane", "mixed", "lossy", "rank_death"}
     for workload in WORKLOADS.values():
         assert workload.description
 

@@ -1,0 +1,108 @@
+"""Soak test: rank-death storms across many seeds and clusters.
+
+The ``rank_death`` fuzz workload (a seed-chosen victim dying mid-job,
+survivors revoking + shrinking + finishing) sweeps across fuzz seeds
+and workload seeds; a *storm* variant kills two ranks of a six-rank SMP
+cluster at staggered times and requires the survivors to recover twice
+— the second failure hits the communicator the first shrink built.
+
+Every run must end with zero hangs, zero checker violations, and
+schedule-independent survivor results.  The full sweep is slow, so it
+only runs when ``REPRO_SOAK=1`` is set (CI runs it as a dedicated job);
+one single-seed smoke case always runs so tier-1 keeps the path covered.
+"""
+
+import os
+
+import pytest
+
+from repro.check.fuzz import run_sweep
+from repro.cluster import ClusterConfig, EngineConfig, MPIWorld, NodeSpec
+from repro.errors import MPIProcFailedError, MPIRevokedError
+from repro.faults import FaultPlan
+from repro.faults.plan import NodeDeath
+from repro.units import us
+
+SOAK = os.environ.get("REPRO_SOAK") == "1"
+
+SOAK_FUZZ_SEEDS = tuple(range(12))
+SOAK_WORKLOAD_SEEDS = tuple(range(4))
+
+
+# -- the fuzz-workload sweep ---------------------------------------------
+
+
+def test_rank_death_workload_smoke():
+    """Single-seed tier-1 coverage of the rank_death fuzz workload."""
+    failures = run_sweep(["rank_death"], [0], out=lambda line: None)
+    assert failures == []
+
+
+@pytest.mark.skipif(not SOAK, reason="set REPRO_SOAK=1 to run the soak sweep")
+@pytest.mark.parametrize("workload_seed", SOAK_WORKLOAD_SEEDS)
+def test_rank_death_workload_sweep(workload_seed):
+    failures = run_sweep(["rank_death"], SOAK_FUZZ_SEEDS,
+                         workload_seed=workload_seed,
+                         out=lambda line: None)
+    assert failures == [], "\n".join(
+        f"{f.kind}: {f.detail}\nREPRO: {f.repro}" for f in failures)
+
+
+# -- the storm: two staggered deaths, recover twice ----------------------
+
+
+def _storm_program(mpi):
+    comm = mpi.comm_world
+    recoveries = []
+    for _round in range(3):  # initial comm + up to two rebuilds
+        try:
+            for _ in range(300):
+                yield from comm.allreduce(comm.rank + 1)
+            break  # a full quiet stretch: no more failures coming
+        except (MPIProcFailedError, MPIRevokedError):
+            comm.revoke()
+            comm = yield from comm.shrink()
+            total = yield from comm.allreduce(comm.rank + 1)
+            agreed = yield from comm.agree(1)
+            recoveries.append((comm.rank, comm.size, total, agreed))
+    return tuple(recoveries)
+
+
+def _run_storm(seed):
+    plan = FaultPlan(seed=seed, deaths=(
+        NodeDeath(rank=1, at=us(250)),
+        NodeDeath(rank=4, at=us(40_000)),
+    ))
+    config = ClusterConfig(
+        nodes=[NodeSpec(f"smp{i}", networks=("tcp", "sisci"), processes=2)
+               for i in range(3)],
+        fault_plan=plan,
+    )
+    world = MPIWorld(config, engine_config=EngineConfig(
+        seed=seed, checker=True))
+    return world, world.run(_storm_program)
+
+
+@pytest.mark.skipif(not SOAK, reason="set REPRO_SOAK=1 to run the storm")
+@pytest.mark.parametrize("seed", range(1, 6))
+def test_double_death_storm(seed):
+    world, results = _run_storm(seed)
+    assert results[1] is None and results[4] is None
+    survivors = [r for r in results if r is not None]
+    assert len(survivors) == 4
+    for recoveries in survivors:
+        assert len(recoveries) == 2, "a survivor missed a recovery round"
+        first, second = recoveries
+        assert first[1] == 5 and second[1] == 4  # 6 -> 5 -> 4 ranks
+        assert second[3] == 1                    # final agreement
+    assert sorted(r[1][0] for r in survivors) == [0, 1, 2, 3]
+    assert list(world.engine.checker.violations) == []
+
+
+def test_double_death_storm_smoke():
+    """One storm seed always runs: double-failure recovery is tier-1."""
+    world, results = _run_storm(seed=3)
+    survivors = [r for r in results if r is not None]
+    assert len(survivors) == 4
+    assert all(len(r) == 2 and r[1][1] == 4 for r in survivors)
+    assert list(world.engine.checker.violations) == []
