@@ -1,0 +1,208 @@
+"""Large-world scaling benchmarks: events/s and peak memory vs rank count.
+
+One probe per world size (64 / 256 / 1024 ranks by default, plus an
+8-rank reference point) built from ``multirail_smp_cluster`` on a single
+sisci rail.  Each probe records:
+
+- ``build_seconds`` / ``build_peak_kb`` — wall-clock and tracemalloc
+  peak for ``MPIWorld`` construction alone.  Construction must stay
+  ~linear in ranks: the O(ranks^2) per-rank copies of world-wide tables
+  (groups, node maps, peer meshes) were the original 1024-rank blocker.
+- ``run_seconds`` / ``events_executed`` / ``events_per_sec`` — a sparse
+  ring neighbour exchange (every rank talks to rank+-1 only) timed
+  run-only.  Most of the world is idle at any instant, which is exactly
+  the regime the per-CPU clock index and ``Engine.step_batch`` target:
+  events/s should be roughly flat in world size, not collapse with it.
+- ``rss_peak_kb`` — ``ru_maxrss`` after the run (informational only:
+  it is process-lifetime-cumulative and allocator-dependent; the
+  regression gates use tracemalloc numbers).
+
+``REPRO_SOAK=1`` (or ``--soak``) adds the 1024-rank point to quick runs
+and a million-event storm: enough exchange rounds that the 1024-rank
+world executes >= 1e6 engine events in one sitting.
+
+``--baseline BENCH_scale.json --max-regression 0.30`` makes CI fail when
+any common probe's events/s drops more than 30 % below the committed
+baseline or its build peak grows more than 50 % above it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster.config import multirail_smp_cluster  # noqa: E402
+from repro.cluster.session import MPIWorld  # noqa: E402
+
+#: Rank counts of the committed baseline (8 is the flat-rate reference).
+DEFAULT_POINTS = (8, 64, 256, 1024)
+#: Neighbour-exchange rounds per probe (scaled up for the soak storm).
+ROUNDS = 4
+#: The soak storm must execute at least this many engine events.
+STORM_MIN_EVENTS = 1_000_000
+
+
+def _neighbor_exchange(rounds: int):
+    """Ring neighbour exchange: rank r talks to r-1 and r+1 only."""
+
+    def program(mpi):
+        comm = mpi.comm_world
+        rank, size = comm.rank, comm.size
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        payload = b"x" * 64
+        for _ in range(rounds):
+            # Even ranks send first, odd ranks receive first; with an
+            # eager 64-byte payload either order is deadlock-free, but
+            # the split keeps the wire pattern symmetric.
+            if rank % 2 == 0:
+                yield from comm.send(payload, dest=right, tag=1)
+                yield from comm.recv(source=left, tag=1)
+                yield from comm.send(payload, dest=left, tag=2)
+                yield from comm.recv(source=right, tag=2)
+            else:
+                yield from comm.recv(source=left, tag=1)
+                yield from comm.send(payload, dest=right, tag=1)
+                yield from comm.recv(source=right, tag=2)
+                yield from comm.send(payload, dest=left, tag=2)
+
+    return program
+
+
+def probe(ranks: int, rounds: int = ROUNDS) -> dict:
+    """Build a ``ranks``-rank world, run the exchange, record the costs."""
+    config = multirail_smp_cluster(nodes=ranks // 4, processes_per_node=4,
+                                   rails=1, network="sisci")
+    tracemalloc.start()
+    start = time.perf_counter()
+    world = MPIWorld(config)
+    build_seconds = time.perf_counter() - start
+    _, build_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    start = time.perf_counter()
+    world.run(_neighbor_exchange(rounds))
+    run_seconds = time.perf_counter() - start
+    events = world.engine.events_executed
+    return {
+        "ranks": ranks,
+        "rounds": rounds,
+        "build_seconds": build_seconds,
+        "build_peak_kb": build_peak // 1024,
+        "run_seconds": run_seconds,
+        "events_executed": events,
+        "events_per_sec": events / run_seconds if run_seconds else 0.0,
+        "virtual_ns": world.engine.now,
+        "rss_peak_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def storm(ranks: int = 1024) -> dict:
+    """Soak-only: a >= 1e6-event exchange storm on the biggest world."""
+    # ~1.5k events/round/world at 1024 ranks; start generous and verify.
+    rounds = ROUNDS
+    record = probe(ranks, rounds)
+    while record["events_executed"] < STORM_MIN_EVENTS:
+        scale = STORM_MIN_EVENTS / max(record["events_executed"], 1)
+        rounds = max(rounds + 1, int(rounds * scale * 1.1))
+        record = probe(ranks, rounds)
+    record["storm"] = True
+    return record
+
+
+def run_suite(points=DEFAULT_POINTS, soak: bool = False) -> dict:
+    # Warm imports and first-build caches so the first probe's
+    # tracemalloc peak measures the world, not module loading.
+    probe(8, rounds=1)
+    probes = {str(ranks): probe(ranks) for ranks in points}
+    reference = probes.get("8") or probes[str(points[0])]
+    for record in probes.values():
+        # The acceptance ratio: a big mostly-idle world should execute
+        # events at roughly the small-world rate (>= 0.5x of reference).
+        record["rate_vs_reference"] = (
+            record["events_per_sec"] / reference["events_per_sec"]
+            if reference["events_per_sec"] else 0.0)
+    suite = {
+        "schema": "scaleperf/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "probes": probes,
+    }
+    if soak:
+        suite["storm_1024"] = storm()
+    return suite
+
+
+def compare(record: dict, baseline: dict, max_regression: float) -> int:
+    """Gate: events/s down > max_regression, or build peak up > 50 %."""
+    status = 0
+    base_probes = baseline.get("probes", {})
+    for key, new in record["probes"].items():
+        base = base_probes.get(key)
+        if not base:
+            continue
+        base_rate = base.get("events_per_sec") or 0.0
+        if base_rate and new["events_per_sec"] < base_rate * (1.0 - max_regression):
+            print(f"FAIL: {key}-rank events/s {new['events_per_sec']:,.0f} "
+                  f"is below {(1.0 - max_regression):.2f}x baseline "
+                  f"{base_rate:,.0f}")
+            status = 1
+        base_peak = base.get("build_peak_kb") or 0
+        if base_peak and new["build_peak_kb"] > base_peak * 1.5:
+            print(f"FAIL: {key}-rank build peak {new['build_peak_kb']} KiB "
+                  f"exceeds 1.5x baseline {base_peak} KiB")
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the record as JSON to this path")
+    parser.add_argument("--ranks", type=int, nargs="*", default=None,
+                        help="world sizes to probe (default 8 64 256 1024; "
+                             "quick CI uses 8 64 256)")
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 1024-rank point (CI smoke)")
+    parser.add_argument("--soak", action="store_true",
+                        help="also run the 1024-rank million-event storm "
+                             "(implied by REPRO_SOAK=1)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_scale.json to regress against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="fail if any probe's events/s drops more than "
+                             "this fraction vs the baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    soak = args.soak or os.environ.get("REPRO_SOAK") == "1"
+    points = tuple(args.ranks) if args.ranks else DEFAULT_POINTS
+    if args.quick and args.ranks is None:
+        points = tuple(p for p in DEFAULT_POINTS if p < 1024)
+    record = run_suite(points, soak=soak)
+
+    status = 0
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        status = compare(record, baseline, args.max_regression)
+
+    text = json.dumps(record, indent=1, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    print(text)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

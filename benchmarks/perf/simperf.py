@@ -62,14 +62,17 @@ def pingpong_rate(size: int = 1024, reps: int = 30) -> dict:
     from repro.cluster.config import two_node_cluster
     from repro.cluster.session import MPIWorld
 
-    # Count events via a probe world identical to what mpi_pingpong builds;
-    # then time the public entry point itself.
-    start = time.perf_counter()
+    # Warm the caches (imports, first-build costs) and grab the virtual-time
+    # latency from the public entry point.
     result = mpi_pingpong(size, networks=("tcp",), reps=reps)
-    elapsed = time.perf_counter() - start
 
+    # Then measure events/second on ONE run: the numerator (events) and the
+    # denominator (wall seconds) must come from the same world, and the
+    # timed region must exclude world construction.  (An earlier version
+    # divided a probe world's event count by mpi_pingpong's wall time —
+    # construction noise moved the rate ~2x between runs while one_way_ns
+    # sat still.)
     world = MPIWorld(two_node_cluster(networks=("tcp",)))
-    events = None
 
     def program(mpi):
         comm = mpi.comm_world
@@ -82,7 +85,9 @@ def pingpong_rate(size: int = 1024, reps: int = 30) -> dict:
                 yield from comm.recv(source=0, tag=9, size=size)
                 yield from comm.send(b"", dest=0, tag=9, size=size)
 
+    start = time.perf_counter()
     world.run(program)
+    elapsed = time.perf_counter() - start
     events = world.engine.events_executed
     return {
         "size": size,

@@ -94,8 +94,12 @@ def cmd_run(args) -> int:
     if not args.kind:
         print("error: a job kind is required (see --list)", file=sys.stderr)
         return 2
-    spec = JobSpec(kind=args.kind, params=dict(args.param or ()),
-                   seed=args.seed)
+    params = dict(args.param or ())
+    if args.ranks is not None:
+        # Sugar for the common scaling knob: equivalent to -p ranks=N on
+        # job kinds that take a world size (coll_bench and friends).
+        params["ranks"] = args.ranks
+    spec = JobSpec(kind=args.kind, params=params, seed=args.seed)
     runner = _make_runner(args)
     result = runner.run([spec])[0]
     if not result.ok:
@@ -282,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE",
                        help="job parameter (JSON value or bare string); "
                             "repeatable")
+    p_run.add_argument("--ranks", type=int, default=None, metavar="N",
+                       help="world size for jobs that take one "
+                            "(shorthand for -p ranks=N)")
     p_run.add_argument("--seed", type=int, default=0,
                        help="spec seed (default 0)")
     p_run.add_argument("--list", action="store_true",

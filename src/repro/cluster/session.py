@@ -28,6 +28,7 @@ from repro.mpi.devices.ch_p4 import ChP4Device
 from repro.mpi.devices.ch_self import ChSelfDevice
 from repro.mpi.devices.smp_plug import SmpPlugDevice
 from repro.mpi.environment import MPIEnv
+from repro.mpi.group import Group
 from repro.cluster.node import ClusterConfig
 from repro.networks.memory import MemoryModel
 from repro.sim.engine import Engine, EngineConfig
@@ -60,7 +61,12 @@ class MPIWorld:
 
     def _build(self) -> None:
         config = self.config
-        node_of_rank = config.node_of_rank()
+        # One shared tuple for the whole world: MPIEnv keeps whatever
+        # tuple it is handed (tuple(t) is t), so converting here makes
+        # the locality map O(ranks) total instead of one private
+        # O(ranks) copy per env — 8 MiB of pure duplication at 1024
+        # ranks before this.
+        node_of_rank = tuple(config.node_of_rank())
         memory = MemoryModel(config.memory) if config.memory else None
 
         # Fabrics for every network present anywhere (+ TCP for ch_p4).
@@ -105,7 +111,11 @@ class MPIWorld:
                 rank: node for rank, node in enumerate(node_of_rank)
             }
 
-        # MPI environments and devices.
+        # MPI environments and devices.  The world group is built once
+        # and shared by every rank's MPI_COMM_WORLD: Group is immutable,
+        # and per-env groups were the single largest construction cost
+        # (32 MiB of identical tuples at 1024 ranks).
+        world_group = Group(range(len(node_of_rank)))
         for process in processes:
             node = config.nodes[node_of_rank[process.rank]]
             env = MPIEnv(
@@ -133,7 +143,7 @@ class MPIWorld:
                 smp_devices[env.rank] = smp_device
             inter_device = self._make_inter_device(env, channels)
             env.install_devices(self_device, smp_device, inter_device)
-            env.make_comm_world()
+            env.make_comm_world(world_group)
 
         # Wire up smp peers and start everything.
         for rank, device in smp_devices.items():
@@ -141,11 +151,14 @@ class MPIWorld:
             peers = {r: smp_devices[r] for r in ranks_by_node[node]}
             device.connect(peers)
             device.start()
+        # One shared all-to-all peer map for every ch_p4 device (it was
+        # rebuilt and copied per rank: O(ranks²) dict entries).
+        p4_peers = {e.rank: e.inter_device for e in self.envs
+                    if isinstance(e.inter_device, ChP4Device)}
         for env in self.envs:
             inter = env.inter_device
             if isinstance(inter, ChP4Device):
-                inter.connect({e.rank: e.inter_device for e in self.envs
-                               if isinstance(e.inter_device, ChP4Device)})
+                inter.connect(p4_peers, shared=True)
             if inter is not None:
                 inter.start()
         if self.session.detector is not None:
@@ -192,12 +205,20 @@ class MPIWorld:
         mains = []
         # Completion is counted by a per-task done callback instead of
         # scanning every main's state once per engine event (the scan was
-        # ~12 % of profiled run() time on the figure benchmarks).
+        # ~12 % of profiled run() time on the figure benchmarks).  The
+        # callback flips ``stopped`` when the last main returns; the
+        # engine's batch sweep re-checks that flag between events, so the
+        # run stops at exactly the event boundary the old one-step-at-a-
+        # time loop stopped at (nothing executes after the last main
+        # finishes and before shutdown's finalize audit).
         remaining = len(self.envs)
+        stopped = [False]
 
         def _main_done(_task) -> None:
             nonlocal remaining
             remaining -= 1
+            if remaining == 0:
+                stopped[0] = True
 
         for env in self.envs:
             task = env.process.runtime.spawn(program(env),
@@ -205,18 +226,23 @@ class MPIWorld:
             task.add_done_callback(_main_done)
             mains.append(task)
         executed = 0
-        step = self.engine.step
-        while remaining:
-            if max_events is not None and executed >= max_events:
-                raise self._deadlock(
-                    f"exceeded max_events={max_events} with ranks still "
-                    "running", mains)
-            if not step():
+        step_batch = self.engine.step_batch
+        while not stopped[0]:
+            limit = 4096
+            if max_events is not None:
+                budget = max_events - executed
+                if budget <= 0:
+                    raise self._deadlock(
+                        f"exceeded max_events={max_events} with ranks still "
+                        "running", mains)
+                limit = min(limit, budget)
+            n = step_batch(limit, stopped)
+            executed += n
+            if n == 0 and not stopped[0]:
                 stuck = sum(1 for t in mains if not t.finished)
                 raise self._deadlock(
                     f"MPI job hung: event queue drained with {stuck} "
                     "rank(s) still blocked", mains)
-            executed += 1
         self.shutdown()
         return [task.result for task in mains]
 

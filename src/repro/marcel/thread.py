@@ -31,18 +31,27 @@ class MarcelRuntime:
         self._spawn_seq = 0
 
     def spawn(self, body: TaskBody | Callable[[], TaskBody],
-              name: str | None = None, daemon: bool = False) -> Task:
+              name: str | None = None, daemon: bool = False,
+              recyclable: bool = False) -> Task:
         """Start a thread running ``body`` (a generator or generator fn)."""
         self._spawn_seq += 1
         label = f"{self.name}.{name or 'thread'}#{self._spawn_seq}"
-        return self.cpu.spawn(body, name=label, daemon=daemon)
+        return self.cpu.spawn(body, name=label, daemon=daemon,
+                              recyclable=recyclable)
 
     def spawn_temporary(self, body: TaskBody | Callable[[], TaskBody],
-                        name: str) -> Task:
+                        name: str, recycle: bool = True) -> Task:
         """Spawn one of the paper's *temporary* threads (isend, rndv ops).
 
         Temporary threads are daemons: if the application exits while one
         is still draining, it must not be reported as a deadlock.
+
+        By default the Task shell is *recyclable* through the CPU's
+        free-list once it finishes — million-message runs spawn a
+        temporary thread per isend/rendezvous op, and without pooling
+        every shell lived until finalize.  Callers that retain the
+        returned handle to join it later must pass ``recycle=False``
+        (see ``CPU.spawn``).
 
         Under schedule fuzzing (see repro.check.fuzz) the thread's start
         is jittered by a seeded delay — temporary threads carry no timing
@@ -54,7 +63,7 @@ class MarcelRuntime:
             jitter = fuzz.spawn_jitter()
             if jitter:
                 body = self._jittered(jitter, body)
-        return self.spawn(body, name=name, daemon=True)
+        return self.spawn(body, name=name, daemon=True, recyclable=recycle)
 
     @staticmethod
     def _jittered(delay: int,

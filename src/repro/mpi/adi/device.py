@@ -29,7 +29,10 @@ from repro.mpi.adi.queues import (
     UnexpectedQueue,
 )
 from repro.mpi.adi.rhandle import RecvHandle, RndvSync, SendHandle
+from repro.mpi.request import RecvRequest
+from repro.mpi.status import Status
 from repro.sim.coroutines import charge
+from repro.sim.ring import Ring
 from repro.sim.sync import Condition
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,6 +40,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: MPI_ERR_TRUNCATE as a status error code.
 ERR_TRUNCATE = 15
+
+#: Free-list capacity for blocking-receive request shells (per process).
+_RECV_POOL_MAX = 32
 
 
 def clone_payload(obj: Any) -> Any:
@@ -60,8 +66,6 @@ class ProgressEngine:
     def __init__(self, process: "MadProcess", byte_order: str = "little",
                  heterogeneity_conversion: bool = True):
         self.process = process
-        self.posted = PostedQueue()
-        self.unexpected = UnexpectedQueue()
         self.memory = process.memory
         self.runtime = process.runtime
         #: This node's native representation and whether the ADI converts
@@ -70,13 +74,6 @@ class ProgressEngine:
         self.heterogeneity_conversion = heterogeneity_conversion
         #: Conversions performed (diagnostic).
         self.conversions = 0
-        #: Per-(context, destination) send-ordering gates (MPI
-        #: non-overtaking; see repro.mpi.point2point.SendGate).
-        self.send_gates: dict[tuple[int, int], Any] = {}
-        #: sync_id -> RndvSync, the "address book" for MPID_RNDV_T handles.
-        self.sync_registry: dict[int, RndvSync] = {}
-        #: Broadcast on every arrival; blocking probes wait here.
-        self.arrivals = Condition(name="adi-arrivals")
         #: Diagnostics.
         self.eager_delivered = 0
         self.rndv_completed = 0
@@ -84,6 +81,104 @@ class ProgressEngine:
         #: When set, arrivals from dead ranks or on revoked/failed
         #: contexts are discarded before they can reach user code.
         self.ft = None
+        #: Set when this rank died: its free-lists are cleared and
+        #: never hand out (or take back) shells again.
+        self._pools_retired = False
+        self.runtime.cpu.on_retire_pools(self._retire_pools)
+        # NOTE: posted / unexpected / send_gates / sync_registry /
+        # arrivals / _recv_pool are *lazy* — see __getattr__ below.  A
+        # quiescent member of a 1024-rank world never materializes them.
+
+    def __getattr__(self, name: str) -> Any:
+        """Materialize per-rank receive-side state on first touch.
+
+        Building these eagerly for every rank made 1000+-rank world
+        construction O(ranks) in objects nobody touches; most members of
+        a large world only ever talk to a few neighbours.  ``__getattr__``
+        only fires while the attribute is missing, so after the first
+        touch every access is a plain instance-dict lookup.
+        """
+        if name == "posted":
+            value = PostedQueue()
+        elif name == "unexpected":
+            value = UnexpectedQueue()
+        elif name == "send_gates":
+            #: Per-(context, destination) send-ordering gates (MPI
+            #: non-overtaking; see repro.mpi.point2point.SendGate).
+            value = {}
+        elif name == "sync_registry":
+            #: sync_id -> RndvSync, the MPID_RNDV_T "address book".
+            value = {}
+        elif name == "arrivals":
+            #: Broadcast on every arrival; blocking probes wait here.
+            value = Condition(name="adi-arrivals")
+        elif name == "_recv_pool":
+            value = Ring(_RECV_POOL_MAX)
+        else:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}")
+        setattr(self, name, value)
+        return value
+
+    # -- blocking-receive shell pool -----------------------------------------
+
+    def acquire_recv(self, comm: Any, context_id: int, source_pattern: int,
+                     tag_pattern: int, capacity: int | None) -> RecvRequest:
+        """A RecvRequest+RecvHandle shell for a *blocking* receive.
+
+        Blocking ``comm.recv`` is the eager hot path: the request never
+        escapes to user code, so its shell (request, handle, flag) can be
+        recycled through a free-list instead of allocated per message.
+        The Status is always fresh — it *does* escape, inside the
+        ``(data, status)`` result.
+        """
+        if not self._pools_retired:
+            pool = self._recv_pool
+            if pool:
+                request = pool.pop()
+                handle = request.handle
+                handle.context_id = context_id
+                handle.source_pattern = source_pattern
+                handle.tag_pattern = tag_pattern
+                handle.capacity = capacity
+                handle.status = Status()
+                handle.data = None
+                flag = handle.flag
+                flag.is_set = False
+                flag.value = None
+                request.comm = comm
+                request.pending_copy_bytes = 0
+                request.posted_queue = None
+                return request
+        request = RecvRequest(
+            RecvHandle(context_id, source_pattern, tag_pattern, capacity),
+            comm)
+        request._pooled = True
+        return request
+
+    def release_recv(self, request: RecvRequest) -> None:
+        """Return a cleanly-completed blocking-receive shell to the pool.
+
+        Only the eager happy path recycles: rendezvous transactions
+        (``handle.sync`` set), errored or cancelled receives keep their
+        shells — those paths are cold and their handles may still be
+        referenced (sync registry, FT bookkeeping).
+        """
+        handle = request.handle
+        status = handle.status
+        if (self._pools_retired or handle.sync is not None
+                or not handle.flag.is_set
+                or status.error or status.cancelled):
+            return
+        request.comm = None
+        handle.data = None
+        self._recv_pool.push(request)
+
+    def _retire_pools(self) -> None:
+        self._pools_retired = True
+        pool = self.__dict__.get("_recv_pool")
+        if pool is not None:
+            pool.clear()
 
     # -- registry ------------------------------------------------------------
 

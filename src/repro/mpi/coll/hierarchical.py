@@ -26,7 +26,6 @@ from typing import TYPE_CHECKING, Any, Generator
 
 from repro.mpi import collectives as _coll
 from repro.mpi.collectives import _crecv, _csend
-from repro.mpi.constants import UNDEFINED
 from repro.mpi.reduce_ops import Op
 
 from repro.mpi.coll.flat import allreduce_recursive_doubling
@@ -78,8 +77,23 @@ def hier_comms(comm: "Communicator") -> Generator:
                      for i in range(len(node_of) - 1))
     node_comm = yield from comm.split_type()
     is_leader = node_comm.rank == 0
-    leader_comm = yield from comm.split(
-        0 if is_leader else UNDEFINED, key=comm.rank)
+    # Leader membership is locally derivable (lowest comm rank per node,
+    # ordered by comm rank — the same order the old
+    # ``comm.split(0/UNDEFINED, key=comm.rank)`` produced), so the
+    # O(ranks^2)-message allgather inside MPI_Comm_split is dead weight
+    # at 1000+ ranks.  Agree with a barrier and build the communicator
+    # locally — the ``split_type()`` mechanism.
+    from repro.mpi.communicator import Communicator
+    from repro.mpi.group import Group
+    yield from _coll.barrier(comm)
+    context = comm.env.allocate_context()
+    if is_leader:
+        leader_comm = Communicator(
+            comm.env,
+            Group([comm._dest_world(r) for r in leader_ranks]),
+            context)
+    else:
+        leader_comm = None
     cache = HierComms(node_comm, leader_comm, node_of, leader_of_node,
                       leader_index_of_node, contiguous)
     comm._hier_cache = cache

@@ -175,7 +175,8 @@ class Communicator:
         message raises :class:`~repro.errors.MPITruncationError`.
         """
         self._check_live()
-        request = _p2p.irecv_impl(self, source, tag, size, self.context_id)
+        request = _p2p.irecv_impl(self, source, tag, size, self.context_id,
+                                  pooled=True)
         result = yield from _p2p.recv_wait(self, request)
         return result
 

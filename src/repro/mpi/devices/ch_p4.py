@@ -92,8 +92,20 @@ class ChP4Device(Device):
 
     # -- wiring -----------------------------------------------------------------
 
-    def connect(self, peers: dict[int, "ChP4Device"]) -> None:
-        """Register the other processes' ch_p4 devices (full mesh)."""
+    def connect(self, peers: dict[int, "ChP4Device"],
+                shared: bool = False) -> None:
+        """Register the other processes' ch_p4 devices (full mesh).
+
+        With ``shared=True`` the mapping is kept by reference — the
+        cluster session builds *one* world-wide dict and hands it to all
+        ranks (a private copy per device was O(ranks²) memory).  The
+        shared map may include this device's own entry; ``_peer`` never
+        looks up ``self.world_rank`` because device selection routes
+        self-sends to ch_self.
+        """
+        if shared:
+            self._peers = peers
+            return
         self._peers = dict(peers)
         self._peers.pop(self.world_rank, None)
 
@@ -112,6 +124,8 @@ class ChP4Device(Device):
 
     def _peer(self, dest_world: int) -> "ChP4Device":
         try:
+            if dest_world == self.world_rank:
+                raise KeyError(dest_world)  # shared map includes self
             return self._peers[dest_world]
         except KeyError:
             raise ConfigurationError(

@@ -54,9 +54,17 @@ class MPIEnv:
         self.smp_device = smp_device
         self.inter_device = inter_device
 
-    def make_comm_world(self) -> "Communicator":
+    def make_comm_world(self, world_group: Group | None = None) -> "Communicator":
+        """Build MPI_COMM_WORLD.
+
+        The cluster session passes one shared ``world_group`` for every
+        rank (Group is immutable; per-env world groups were O(ranks²)
+        memory).  Standalone envs build their own.
+        """
         from repro.mpi.communicator import Communicator
-        self.comm_world = Communicator(self, Group(range(self.size)),
+        if world_group is None:
+            world_group = Group(range(self.size))
+        self.comm_world = Communicator(self, world_group,
                                        context_id=WORLD_CONTEXT)
         return self.comm_world
 

@@ -23,6 +23,12 @@ class Group:
         if any(r < 0 for r in ranks):
             raise MPIRankError(f"negative world rank in group: {ranks}")
         self.world_ranks = ranks
+        #: Lazy world-rank -> group-rank index.  ``rank_of`` runs per
+        #: *received message* (status translation), so ``tuple.index``'s
+        #: O(size) scan made every receive O(ranks); the dict makes it
+        #: O(1).  Built on first lookup so groups that are never queried
+        #: (most subgroups) cost nothing.
+        self._index: dict[int, int] | None = None
 
     # -- introspection ---------------------------------------------------------
 
@@ -30,12 +36,17 @@ class Group:
     def size(self) -> int:
         return len(self.world_ranks)
 
+    def _rank_index(self) -> dict[int, int]:
+        index = self._index
+        if index is None:
+            index = self._index = {
+                r: i for i, r in enumerate(self.world_ranks)
+            }
+        return index
+
     def rank_of(self, world_rank: int) -> int:
-        """Group rank of ``world_rank`` (UNDEFINED if absent)."""
-        try:
-            return self.world_ranks.index(world_rank)
-        except ValueError:
-            return UNDEFINED
+        """Group rank of ``world_rank`` (UNDEFINED if absent).  O(1)."""
+        return self._rank_index().get(world_rank, UNDEFINED)
 
     def world_rank(self, group_rank: int) -> int:
         """World rank of group member ``group_rank``."""
@@ -46,7 +57,7 @@ class Group:
         return self.world_ranks[group_rank]
 
     def __contains__(self, world_rank: int) -> bool:
-        return world_rank in self.world_ranks
+        return world_rank in self._rank_index()
 
     def compare(self, other: "Group") -> int:
         """IDENT if same ranks in same order, SIMILAR if same set, else

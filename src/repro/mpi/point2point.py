@@ -266,9 +266,16 @@ def isend_impl(comm: "Communicator", data: Any, dest: int, tag: int,
 
 
 def irecv_impl(comm: "Communicator", source: int, tag: int,
-               capacity: int | None, context_id: int) -> RecvRequest:
+               capacity: int | None, context_id: int,
+               pooled: bool = False) -> RecvRequest:
     """Post a receive (non-blocking).  Never yields — atomic w.r.t. the
-    cooperative scheduler."""
+    cooperative scheduler.
+
+    ``pooled=True`` (blocking ``comm.recv`` only) draws the
+    request/handle shell from the progress engine's free-list —
+    ``recv_wait`` returns it after a clean completion.  Requests that
+    escape to user code (irecv) must stay ``pooled=False``.
+    """
     _check_rank(comm, source, wildcard=True, what="source")
     _check_tag(tag, wildcard=True)
     env = comm.env
@@ -293,7 +300,13 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
             handle.flag.set(handle)
             return RecvRequest(handle, comm)
     entry = env.progress.unexpected.match(context_id, source_world, tag)
-    handle = RecvHandle(context_id, source_world, tag, capacity)
+    if pooled:
+        request = env.progress.acquire_recv(comm, context_id, source_world,
+                                            tag, capacity)
+    else:
+        request = RecvRequest(
+            RecvHandle(context_id, source_world, tag, capacity), comm)
+    handle = request.handle
     # Wait-for-graph metadata: a task blocked on this receive waits on
     # the source rank (unknown for MPI_ANY_SOURCE).
     handle.flag.rank_dep = (None if source_world == ANY_SOURCE
@@ -306,14 +319,12 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
         checker.on_match(entry.envelope, env.rank)
     if entry is None:
         env.progress.posted.post(handle)
-        request = RecvRequest(handle, comm)
         request.posted_queue = env.progress.posted
         return request
     if entry.kind is UnexpectedKind.EAGER:
         if capacity is not None and entry.envelope.size > capacity:
             handle.status.error = ERR_TRUNCATE
         handle.complete(entry.envelope, entry.data)
-        request = RecvRequest(handle, comm)
         # The unexpected-buffer -> user-buffer copy is charged by the
         # thread that eventually waits (irecv itself must not yield).
         request.pending_copy_bytes = entry.envelope.size
@@ -327,7 +338,7 @@ def irecv_impl(comm: "Communicator", source: int, tag: int,
     env.process.runtime.spawn_temporary(
         token.device.send_rndv_ack(token, sync.sync_id), name="rndv-ack"
     )
-    return RecvRequest(handle, comm)
+    return request
 
 
 def recv_wait(comm: "Communicator", request: RecvRequest) -> Generator:
@@ -336,6 +347,11 @@ def recv_wait(comm: "Communicator", request: RecvRequest) -> Generator:
         nbytes, request.pending_copy_bytes = request.pending_copy_bytes, 0
         yield charge(comm.env.progress.memory.copy_cost(nbytes))
     result = yield from request.wait()
+    if request._pooled:
+        # Clean completion of a blocking receive: the shell goes back to
+        # the free-list (an error above raised past this point, keeping
+        # the shell out of circulation).
+        comm.env.progress.release_recv(request)
     return result
 
 

@@ -140,6 +140,11 @@ class SendRequest(Request):
 class RecvRequest(Request):
     """Handle for a non-blocking receive."""
 
+    #: True for shells owned by the progress engine's blocking-receive
+    #: free-list (see ProgressEngine.acquire_recv); such a request never
+    #: escapes to user code and is recycled after a clean completion.
+    _pooled = False
+
     def __init__(self, handle: RecvHandle, comm=None):
         super().__init__(handle.flag)
         self.handle = handle

@@ -114,11 +114,17 @@ def wait(waitable: Any) -> Wait:
     return Wait(waitable)
 
 
+# YieldCPU/GetTime carry no state, so every caller can share one frozen
+# instance — busy-wait loops yield_cpu() millions of times in large runs.
+_YIELD_CPU = YieldCPU()
+_GET_TIME = GetTime()
+
+
 def yield_cpu() -> YieldCPU:
     """Let other runnable tasks on this CPU proceed."""
-    return YieldCPU()
+    return _YIELD_CPU
 
 
 def now() -> GetTime:
     """Read the virtual clock from inside a task."""
-    return GetTime()
+    return _GET_TIME

@@ -34,8 +34,21 @@ from repro.sim.coroutines import (
     YieldCPU,
 )
 from repro.sim.engine import Engine
+from repro.sim.ring import Ring
 
 TaskBody = Generator[SystemCall, Any, Any]
+
+#: Free-list capacity for recyclable (temporary) tasks, per CPU.  A rank
+#: rarely has more than a handful of temporary threads in flight; the
+#: pool only needs to cover that churn, not the backlog.
+_TASK_POOL_MAX = 64
+
+#: Compact a CPU's task roster once this many recyclable tasks have
+#: finished since the last compaction.  Deliberately high enough that
+#: the small golden workloads (a few dozen temporary threads) never
+#: compact — their ``tasks()`` aggregation, which the determinism
+#: goldens pin, is untouched.
+_TASK_COMPACT_MIN = 256
 
 
 class TaskState(enum.Enum):
@@ -100,6 +113,11 @@ class Task:
         #: accounting: a killed task stays queued but dead, see
         #: ``CPU._discard``).
         self._queued = False
+        #: Recyclable tasks (temporary threads) may be returned to their
+        #: CPU's free-list after finishing cleanly; the spawner promises
+        #: to drop the Task handle (no joins, no done-callbacks added
+        #: after the fact).  See ``CPU._compact_tasks``.
+        self.recyclable = False
 
     # -- waitable protocol (join) ------------------------------------------
 
@@ -142,6 +160,29 @@ class Task:
             callbacks, self._done_callbacks = self._done_callbacks, []
             for fn in callbacks:
                 fn(self)
+        if self.recyclable:
+            self.cpu._note_recyclable_finish()
+
+    def _reinit(self, body: TaskBody, name: str | None, daemon: bool) -> None:
+        """Explicit reset for free-list reuse (``CPU.spawn`` recycling).
+
+        Bumps the class counter exactly like ``__init__`` so default
+        task names stay identical whether or not an object was recycled.
+        Only tasks that finished cleanly (DONE, not queued anywhere) are
+        ever pooled, so the waiter/joiner/callback lists are empty here.
+        """
+        Task._counter += 1
+        self.gen = body
+        self.name = name or f"task-{Task._counter}"
+        self.daemon = daemon
+        self.state = TaskState.NEW
+        self.finished = False
+        self.result = None
+        self.exception = None
+        self.cpu_time = 0
+        self.waiting_on = None
+        self._wake_value = None
+        self._queued = False
 
     def waiting_description(self) -> str:
         """Human-readable description of what this task is blocked on."""
@@ -192,17 +233,43 @@ class CPU:
         self._last_ran: Task | None = None
         self._dispatch_pending = False
         self._tasks: list[Task] = []
+        #: Free-list of recyclable Task shells (see :meth:`spawn`).
+        self._task_pool = Ring(_TASK_POOL_MAX)
+        self._finished_recyclable = 0
+        #: True once this CPU's rank died (FT): pools are drained and
+        #: recycling stops — a dead rank's pooled objects must never
+        #: re-enter live traffic.
+        self.pools_retired = False
+        self._retire_hooks: list[Callable[[], None]] = []
         #: Total ns this CPU spent busy (charges + switches), diagnostic.
         self.busy_time: int = 0
 
     # -- public API --------------------------------------------------------
 
     def spawn(self, body: TaskBody | Callable[[], TaskBody], name: str | None = None,
-              daemon: bool = False) -> Task:
-        """Create a task from a generator (or a zero-arg generator function)."""
+              daemon: bool = False, recyclable: bool = False) -> Task:
+        """Create a task from a generator (or a zero-arg generator function).
+
+        ``recyclable`` opts the task into the CPU's free-list: after it
+        finishes cleanly its shell may be reset and reused by a later
+        recyclable spawn.  Callers passing it promise to drop the
+        returned handle — never join a recyclable task or register done
+        callbacks on it after it may have finished (the temporary
+        fire-and-forget threads of the MPI device layer qualify; see
+        ``MarcelRuntime.spawn_temporary``).
+        """
         if callable(body) and not hasattr(body, "send"):
             body = body()
-        task = Task(self, body, name=name, daemon=daemon)
+        if recyclable and not self.pools_retired:
+            pool = self._task_pool
+            if pool:
+                task = pool.pop()
+                task._reinit(body, name, daemon)
+            else:
+                task = Task(self, body, name=name, daemon=daemon)
+                task.recyclable = True
+        else:
+            task = Task(self, body, name=name, daemon=daemon)
         self._tasks.append(task)
         task.state = TaskState.READY
         task._queued = True
@@ -228,7 +295,15 @@ class CPU:
         return len(self._ready) - self._ready_dead
 
     def tasks(self) -> Iterable[Task]:
-        """All tasks ever spawned on this CPU."""
+        """All tasks on this CPU's roster.
+
+        Every task ever spawned, minus finished *recyclable* temporaries
+        that have been compacted away (threshold-gated, see
+        :meth:`_compact_tasks`) — without that exception a million-message
+        run would retain every temporary isend/rndv thread it ever
+        spawned.  Persistent tasks (mains, pollers, anything spawned
+        without ``recyclable=True``) are always present.
+        """
         return tuple(self._tasks)
 
     def live_tasks(self) -> list[Task]:
@@ -241,6 +316,57 @@ class CPU:
             t for t in self._tasks
             if not t.finished and not t.daemon and t.state == TaskState.BLOCKED
         ]
+
+    # -- object-pool maintenance -------------------------------------------
+
+    def _note_recyclable_finish(self) -> None:
+        self._finished_recyclable += 1
+        if self._finished_recyclable >= _TASK_COMPACT_MIN:
+            self._compact_tasks()
+
+    def _compact_tasks(self) -> None:
+        """Drop finished recyclable tasks from the roster, pooling shells.
+
+        Only tasks that finished cleanly (DONE) and are not still queued
+        as ready-deque tombstones are eligible for the free-list: a
+        KILLED task may linger in a waitable's waiter deque, where a
+        recycled (live-again) shell would be spuriously woken.  Harvested
+        shells clear ``_last_ran`` so a reused identity charges the same
+        context-switch cost a fresh Task object would.
+        """
+        pool = self._task_pool
+        retired = self.pools_retired
+        keep = []
+        for task in self._tasks:
+            if not (task.finished and task.recyclable):
+                keep.append(task)
+                continue
+            if (not retired and task.state is TaskState.DONE
+                    and not task._queued):
+                if self._last_ran is task:
+                    self._last_ran = None
+                task.gen = None  # type: ignore[assignment]
+                pool.push(task)
+        self._tasks[:] = keep
+        self._finished_recyclable = 0
+
+    def retire_pools(self) -> None:
+        """FT: drop pooled objects and stop pooling on this CPU forever.
+
+        Called when this CPU's rank is killed.  The task free-list is
+        emptied, future recyclable spawns allocate fresh, and any
+        registered retirement hooks fire (the rank's progress engine
+        registers its request pools here) — a dead rank's pooled objects
+        must be retired, never recycled into live traffic.
+        """
+        self.pools_retired = True
+        self._task_pool.clear()
+        for hook in self._retire_hooks:
+            hook()
+
+    def on_retire_pools(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run when this CPU's pools are retired."""
+        self._retire_hooks.append(hook)
 
     # -- internals ----------------------------------------------------------
 

@@ -193,6 +193,13 @@ class Engine:
         #: :meth:`next_payload_time` can see past them (one entry per
         #: sleeping periodic poller, so this heap stays tiny).
         self._clock_queue: list[tuple[int, int, Event, Any]] = []
+        #: Per-CPU mirror of the clock queue's wake times (cpu -> time
+        #: min-heap).  :meth:`next_payload_time` used to linear-scan the
+        #: clock queue per idle-skip — fine at 2 pollers, O(ranks²) in a
+        #: 1024-rank quiescent world.  The mirror makes the per-CPU peek
+        #: O(1): this is what lets idle ranks fast-forward at ~zero cost
+        #: regardless of world size.
+        self._clock_by_cpu: dict[Any, list[int]] = {}
         #: Cancelled events still sitting in either queue.
         self._cancelled: int = 0
         self._pool: list[Event] = []
@@ -400,6 +407,10 @@ class Engine:
                           pooled=True)
         self._seq += 1
         heapq.heappush(self._clock_queue, (time, event.seq, event, cpu))
+        percpu = self._clock_by_cpu.get(cpu)
+        if percpu is None:
+            percpu = self._clock_by_cpu[cpu] = []
+        heapq.heappush(percpu, time)
 
     # -- cancellation accounting ------------------------------------------
 
@@ -411,22 +422,27 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events from both queues (heap order preserved)."""
-        for entry in self._queue:
+        """Drop cancelled events from both queues (heap order preserved).
+
+        Both queues are compacted *in place*: :meth:`step_batch` holds
+        local aliases to them across callbacks, and a cancel storm inside
+        a callback must not strand those aliases on a dead snapshot.
+        """
+        queue = self._queue
+        for entry in queue:
             event = entry[2]
             if event.cancelled:
                 self._release(event)
-        self._queue = [entry for entry in self._queue
-                       if not entry[2].cancelled]
-        heapq.heapify(self._queue)
-        if any(event.cancelled for event in self._immediate):
-            keep: deque[Event] = deque()
-            for event in self._immediate:
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        immediate = self._immediate
+        if any(event.cancelled for event in immediate):
+            keep = [event for event in immediate if not event.cancelled]
+            for event in immediate:
                 if event.cancelled:
                     self._release(event)
-                else:
-                    keep.append(event)
-            self._immediate = keep
+            immediate.clear()
+            immediate.extend(keep)
         self._cancelled = 0
 
     def _release(self, event: Event) -> None:
@@ -496,10 +512,12 @@ class Engine:
             best = immediate[0].time
         if queue and (best is None or queue[0][0] < best):
             best = queue[0][0]
-        # One entry per sleeping periodic poller: linear scan is fine.
-        for entry in self._clock_queue:
-            if entry[3] is cpu and (best is None or entry[0] < best):
-                best = entry[0]
+        # O(1) per-CPU peek via the clock-queue mirror (an idle 1024-rank
+        # world calls this once per poller fast-forward; a linear scan of
+        # the clock queue here was O(ranks) per call, O(ranks²) per tick).
+        percpu = self._clock_by_cpu.get(cpu)
+        if percpu and (best is None or percpu[0] < best):
+            best = percpu[0]
         return best
 
     def quiet_now(self) -> bool:
@@ -551,7 +569,12 @@ class Engine:
             elif src == 2:
                 event = heapq.heappop(queue)[2]
             else:
-                event = heapq.heappop(clock)[2]
+                entry = heapq.heappop(clock)
+                event = entry[2]
+                # Keep the per-CPU mirror in sync: a CPU's clock entries
+                # pop in its own (time, seq) order, so the global pop's
+                # time is that CPU's minimum.
+                heapq.heappop(self._clock_by_cpu[entry[3]])
             if event.cancelled:
                 self._cancelled -= 1
                 self._release(event)
@@ -570,6 +593,112 @@ class Engine:
                 pool.append(event)
             return True
 
+    def step_batch(self, limit: int, stop_flag: Any = None) -> int:
+        """Execute up to ``limit`` events in one dispatch sweep.
+
+        Bit-identical to calling :meth:`step` in a loop — events still
+        fire in exact global (time, seq) order — but the per-event
+        Python overhead (method call, queue-head rebinding) is paid once
+        per *batch*, and runs of same-timestamp zero-delay events (the
+        cross-rank wire-delivery cascades of a large world, where one
+        tick delivers to hundreds of ranks at the same nanosecond) drain
+        through a tight inner loop that skips the 3-way merge entirely
+        while the timed heaps provably hold nothing due now.
+
+        ``stop_flag``, when given, is an indexable whose ``[0]`` entry is
+        re-checked *between* events; the sweep stops before the next
+        event once it goes true.  An index read is cheaper than calling
+        a closure per event, and the check lands at exactly the points
+        where a ``step()`` caller's loop condition would — so
+        :meth:`MPIWorld.run <repro.cluster.session.MPIWorld.run>` sees
+        the same event sequence batched as unbatched.
+
+        Returns the number of events executed (less than ``limit`` only
+        when the queues drained or ``stop_flag`` went true).
+        """
+        queue = self._queue
+        immediate = self._immediate
+        clock = self._clock_queue
+        pool = self._pool
+        executed = 0
+        check_stop = stop_flag is not None
+        while executed < limit:
+            if check_stop and stop_flag[0]:
+                break
+            # Three-way (time, seq) merge, exactly as in step().
+            src = 0
+            if immediate:
+                head_event = immediate[0]
+                time = head_event.time
+                seq = head_event.seq
+                src = 1
+            if queue:
+                head = queue[0]
+                if src == 0 or head[0] < time or (head[0] == time
+                                                  and head[1] < seq):
+                    time = head[0]
+                    seq = head[1]
+                    src = 2
+            if clock:
+                head = clock[0]
+                if src == 0 or head[0] < time or (head[0] == time
+                                                  and head[1] < seq):
+                    src = 3
+            if src == 0:
+                break
+            if src == 1:
+                event = immediate.popleft()
+            elif src == 2:
+                event = heapq.heappop(queue)[2]
+            else:
+                entry = heapq.heappop(clock)
+                event = entry[2]
+                heapq.heappop(self._clock_by_cpu[entry[3]])
+            if event.cancelled:
+                self._cancelled -= 1
+                self._release(event)
+                continue
+            event._done = True
+            now = event.time
+            self._now = now
+            self.events_executed += 1
+            event.callback(*event.args)
+            if event._pooled and len(pool) < _POOL_MAX:
+                event.callback = None  # type: ignore[assignment]
+                event.args = ()
+                pool.append(event)
+            executed += 1
+            # Same-timestamp sweep: while neither timed heap holds an
+            # entry due *now*, every deque head at `now` is the global
+            # (time, seq) minimum (new zero-delay events always append
+            # with larger seq; heap pushes from callbacks land strictly
+            # later than `now` or in the deque).  The heap-head checks
+            # re-run per event because a callback may schedule_clock(0)
+            # or leave a same-time heap entry behind.
+            while immediate and executed < limit:
+                event = immediate[0]
+                if event.time != now:
+                    break
+                if (queue and queue[0][0] == now) or \
+                        (clock and clock[0][0] == now):
+                    break
+                if check_stop and stop_flag[0]:
+                    return executed
+                immediate.popleft()
+                if event.cancelled:
+                    self._cancelled -= 1
+                    self._release(event)
+                    continue
+                event._done = True
+                self.events_executed += 1
+                event.callback(*event.args)
+                if event._pooled and len(pool) < _POOL_MAX:
+                    event.callback = None  # type: ignore[assignment]
+                    event.args = ()
+                    pool.append(event)
+                executed += 1
+        return executed
+
     def run(self, until: int | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains (or a bound is hit).
 
@@ -585,7 +714,9 @@ class Engine:
         step = self.step
         try:
             if until is None and max_events is None:
-                while step():
+                # Unbounded drain: sweep in large batches (identical event
+                # order, amortized dispatch overhead).
+                while self.step_batch(4096):
                     pass
             else:
                 while True:

@@ -1,0 +1,84 @@
+"""Preallocated ring buffers for the simulator's free-lists.
+
+A :class:`Ring` is a fixed-capacity FIFO over a preallocated slot list:
+``push``/``pop`` are O(1), never grow the backing store, and drop their
+slot reference on pop so a pooled object's lifetime is exactly its time
+in the ring.  The object pools introduced for 1000+-rank worlds (the
+CPU's temporary-:class:`~repro.sim.cpu.Task` free-list, the progress
+engine's recv-handle free-list) sit on rings so a million-message storm
+recycles a bounded working set instead of churning the allocator.
+
+Why the engine's zero-delay deque and the ch_mad packet mailboxes do
+*not* move onto this class: CPython's ``collections.deque`` already *is*
+a preallocated ring buffer (a doubly linked list of 64-slot blocks with
+C-level append/popleft); a Python-level ring costs two attribute stores
+and an index mask per operation where deque costs one C call, and loses
+the race by ~2x on the hot paths.  See the micro-benchmark in
+``tests/test_ring.py`` and DESIGN.md "Scaling to 1000+ ranks".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Ring:
+    """Fixed-capacity FIFO ring over a preallocated slot list.
+
+    ``push`` returns False (and drops the item) when the ring is full —
+    free-list semantics: overflow means the pool is saturated and the
+    object is simply left to the garbage collector.
+    """
+
+    __slots__ = ("_slots", "_mask", "_head", "_size")
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        # Round up to a power of two so the index wrap is a mask.
+        cap = 1
+        while cap < capacity:
+            cap <<= 1
+        self._slots: list[Any] = [None] * cap
+        self._mask = cap - 1
+        self._head = 0  # index of the oldest item
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, item: Any) -> bool:
+        """Append ``item``; returns False (item dropped) when full."""
+        size = self._size
+        if size > self._mask:
+            return False
+        self._slots[(self._head + size) & self._mask] = item
+        self._size = size + 1
+        return True
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item (raises IndexError if empty)."""
+        if self._size == 0:
+            raise IndexError("pop from empty ring")
+        head = self._head
+        item = self._slots[head]
+        self._slots[head] = None  # drop the reference immediately
+        self._head = (head + 1) & self._mask
+        self._size -= 1
+        return item
+
+    def clear(self) -> None:
+        """Drop every pooled item (FT retirement of a dead rank's pools)."""
+        self._slots = [None] * (self._mask + 1)
+        self._head = 0
+        self._size = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Ring {self._size}/{self._mask + 1}>"

@@ -108,8 +108,16 @@ class TestMPIWorldConstruction:
         world = MPIWorld(two_node_cluster(networks=("tcp",), device="ch_p4"))
         for env in world.envs:
             assert isinstance(env.inter_device, ChP4Device)
-        # ch_p4 devices form a full mesh.
-        assert world.envs[0].inter_device._peers.keys() == {1}
+        # ch_p4 devices form a full mesh over ONE shared world map
+        # (a private copy per device was O(ranks^2) memory); self-sends
+        # never consult it — device selection routes them to ch_self.
+        first = world.envs[0].inter_device
+        assert first._peers.keys() == {0, 1}
+        assert all(env.inter_device._peers is first._peers
+                   for env in world.envs)
+        with pytest.raises(ConfigurationError):
+            first._peer(0)
+        assert first._peer(1) is world.envs[1].inter_device
 
     def test_one_madeleine_channel_per_protocol(self):
         world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))

@@ -256,6 +256,56 @@ class TestInvariantPlants:
         assert excinfo.value.invariant == "dead-rank-leak"
         assert excinfo.value.rank == 0
 
+    def test_killed_rank_pools_retired_and_plants_purged(self):
+        # PR-8 object pools x the rank-failure model: a killed rank's
+        # pooled task/request shells must be *retired* (cleared, never
+        # handed back out), not recycled into live traffic.
+        from repro.sim.coroutines import sleep
+
+        config = ClusterConfig(
+            nodes=_nodes(2),
+            fault_plan=FaultPlan.node_death(rank=1, at=us(250)),
+        )
+        world = MPIWorld(config)
+
+        def _noop():
+            return
+            yield  # pragma: no cover - generator marker
+
+        def program(mpi):
+            comm = mpi.comm_world
+            if comm.rank == 1:
+                # Fill the victim's free-list with finished recyclable
+                # shells before the death bites.
+                for _ in range(4):
+                    mpi.process.runtime.spawn_temporary(_noop(),
+                                                        name="plant")
+                yield sleep(us(1000))  # killed mid-sleep at 250us
+            else:
+                yield sleep(us(500))
+            return "survived"
+
+        results = world.run(program)
+        assert results[0] == "survived"
+        assert results[1] is None  # the victim never returns
+
+        cpu = world.session.processes[1].runtime.cpu
+        assert cpu.pools_retired
+        assert len(cpu._task_pool) == 0, "planted task shells must be purged"
+        progress = world.envs[1].progress
+        assert progress._pools_retired
+
+        # Negative plants: force shells at the retired pools and check
+        # neither free-list ever hands one back out.
+        fresh_task = cpu.spawn(_noop, name="post-death", recyclable=True)
+        assert not fresh_task.recyclable, (
+            "a retired CPU must not mint recyclable shells")
+        planted = progress.acquire_recv(None, WORLD_CONTEXT, 0, 0, None)
+        progress._recv_pool.push(planted)
+        fresh = progress.acquire_recv(None, WORLD_CONTEXT, 0, 0, None)
+        assert fresh is not planted, (
+            "a retired recv pool must not recycle shells")
+
     def test_clean_ft_run_has_no_violations(self):
         config = ClusterConfig(
             nodes=_nodes(4),

@@ -1,0 +1,103 @@
+"""Ring buffer semantics, plus the honest ring-vs-deque micro-benchmark."""
+
+import collections
+import time
+
+import pytest
+
+from repro.sim.ring import Ring
+
+
+class TestRingSemantics:
+    def test_fifo_order(self):
+        ring = Ring(8)
+        for i in range(5):
+            assert ring.push(i)
+        assert [ring.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_rounds_up_to_power_of_two(self):
+        assert Ring(1).capacity == 1
+        assert Ring(3).capacity == 4
+        assert Ring(64).capacity == 64
+        assert Ring(65).capacity == 128
+
+    def test_push_to_full_drops_and_reports(self):
+        ring = Ring(2)
+        assert ring.push("a") and ring.push("b")
+        assert not ring.push("c")  # dropped, free-list semantics
+        assert len(ring) == 2
+        assert ring.pop() == "a"
+        assert ring.push("d")  # room again
+        assert [ring.pop(), ring.pop()] == ["b", "d"]
+
+    def test_pop_empty_raises(self):
+        ring = Ring(4)
+        with pytest.raises(IndexError):
+            ring.pop()
+
+    def test_bool_and_len(self):
+        ring = Ring(4)
+        assert not ring and len(ring) == 0
+        ring.push(1)
+        assert ring and len(ring) == 1
+
+    def test_wraparound_many_cycles(self):
+        ring = Ring(4)
+        for cycle in range(25):  # head laps the slot list many times
+            for i in range(3):
+                ring.push((cycle, i))
+            assert [ring.pop() for _ in range(3)] == [(cycle, i)
+                                                      for i in range(3)]
+        assert not ring
+
+    def test_pop_drops_slot_reference(self):
+        ring = Ring(2)
+        marker = object()
+        ring.push(marker)
+        ring.pop()
+        assert all(slot is not marker for slot in ring._slots)
+
+    def test_clear_empties_and_drops_references(self):
+        ring = Ring(8)
+        for i in range(6):
+            ring.push(object())
+        ring.clear()
+        assert len(ring) == 0
+        assert all(slot is None for slot in ring._slots)
+        assert ring.push("fresh") and ring.pop() == "fresh"
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+
+def test_deque_beats_python_ring_on_fifo_churn():
+    """The honesty check behind ring.py's module docstring.
+
+    The engine's zero-delay queue and the mailboxes stay on
+    ``collections.deque`` because deque already *is* a C ring buffer;
+    this guards the documented rationale by verifying deque is not
+    slower — if a CPython release ever flips the balance, this fails
+    and the hot queues should be revisited.
+    """
+    N = 20_000
+    ring = Ring(64)
+    deque = collections.deque()
+
+    start = time.perf_counter()
+    for i in range(N):
+        ring.push(i)
+        ring.pop()
+    ring_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(N):
+        deque.append(i)
+        deque.popleft()
+    deque_seconds = time.perf_counter() - start
+
+    # Wide margin: only fail if deque became dramatically slower than
+    # the Python-level ring (it is typically ~2x *faster*).
+    assert deque_seconds < ring_seconds * 3, (
+        f"deque {deque_seconds:.4f}s vs ring {ring_seconds:.4f}s: "
+        "revisit the deque-stays decision in repro/sim/ring.py")

@@ -1,9 +1,13 @@
 """Scale/stress tests: larger worlds, heavy collectives, meta-clusters."""
 
+import hashlib
+import tracemalloc
+
 import numpy as np
 import pytest
 
 from repro.cluster import ClusterConfig, MPIWorld, NodeSpec, cluster_of_clusters
+from repro.cluster.config import multirail_smp_cluster
 from repro.mpi.reduce_ops import SUM
 from tests.helpers import linear_cluster, run_world
 
@@ -55,6 +59,57 @@ class TestLargeWorlds:
 
         results = run_world(program, linear_cluster(2))
         assert results[1] == list(range(64))
+
+
+def _exchange_and_allreduce(mpi):
+    """Sparse ring neighbour exchange, then one hierarchical allreduce."""
+    comm = mpi.comm_world
+    rank, size = comm.rank, comm.size
+    right, left = (rank + 1) % size, (rank - 1) % size
+    if rank % 2 == 0:
+        yield from comm.send(rank, dest=right, tag=7)
+        from_left = yield from comm.recv(source=left, tag=7)
+    else:
+        from_left = yield from comm.recv(source=left, tag=7)
+        yield from comm.send(rank, dest=right, tag=7)
+    total = yield from comm.allreduce(rank, op=SUM, algorithm="hier")
+    return (from_left[0], total)
+
+
+def _run_512(budget_assert: bool):
+    """Build + run a 512-rank world; returns a result digest."""
+    config = multirail_smp_cluster(nodes=128, processes_per_node=4,
+                                   rails=1, network="sisci")
+    tracemalloc.start()
+    world = MPIWorld(config)
+    results = world.run(_exchange_and_allreduce)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    if budget_assert:
+        # ~13 KiB/rank construction + run-time state today (~12 MiB
+        # total); the budget has ~3x slack so only a *superlinear*
+        # regression (the O(ranks^2) tables this PR removed) trips it.
+        assert peak < 40 * 1024 * 1024, (
+            f"512-rank world peaked at {peak / 2**20:.1f} MiB traced "
+            f"memory (budget 40 MiB)")
+    expected_total = sum(range(512))
+    for rank, (from_left, total) in enumerate(results):
+        assert from_left == (rank - 1) % 512
+        assert total == expected_total
+    digest = hashlib.sha256()
+    digest.update(repr(results).encode())
+    digest.update(str(world.engine.now).encode())
+    return digest.hexdigest()
+
+
+class TestThousandRankScale:
+    """The PR-8 scaling guard: big worlds must stay cheap *and* exact."""
+
+    def test_512_rank_world_memory_and_determinism(self):
+        first = _run_512(budget_assert=True)
+        second = _run_512(budget_assert=False)
+        assert first == second, (
+            "512-rank run is not bit-identical across two builds")
 
 
 class TestMetaClusterScale:

@@ -285,3 +285,125 @@ def test_next_payload_time_skims_cancelled_heads():
     engine.schedule(30, lambda: None)
     event.cancel()
     assert engine.next_payload_time(cpu) == 30
+
+
+# ---------------------------------------------------------------------------
+# step_batch (the PR-8 batched dispatch sweep)
+# ---------------------------------------------------------------------------
+
+def _mixed_workload(engine, trace):
+    """A scheduling mix that exercises every queue and nesting path."""
+    cpu = object()
+
+    def cascade(label, depth):
+        trace.append((engine.now, label))
+        if depth:
+            # Same-timestamp zero-delay fan-out (the wire-delivery shape).
+            engine.call_soon(cascade, f"{label}.s{depth}", depth - 1)
+            engine.schedule_clock(0, cpu, trace.append,
+                                  (engine.now, f"{label}.c{depth}"))
+
+    engine.schedule(5, cascade, "a", 2)
+    engine.schedule(5, trace.append, (5, "a2"))
+    engine.schedule_clock(5, cpu, trace.append, (5, "aclock"))
+    engine.schedule(12, cascade, "b", 3)
+    doomed = engine.schedule(8, trace.append, (8, "never"))
+    doomed.cancel()
+    engine.call_soon(cascade, "zero", 1)
+    return cpu
+
+
+def test_step_batch_is_bit_identical_to_step():
+    stepped, batched = [], []
+    e1 = Engine()
+    _mixed_workload(e1, stepped)
+    while e1.step():
+        pass
+    e2 = Engine()
+    _mixed_workload(e2, batched)
+    total = 0
+    while True:
+        n = e2.step_batch(3)  # tiny limit: force many partial sweeps
+        if not n:
+            break
+        total += n
+    assert batched == stepped
+    assert e2.events_executed == e1.events_executed == total
+    assert e2.now == e1.now
+
+
+def test_step_batch_respects_limit():
+    engine = Engine()
+    for i in range(10):
+        engine.call_soon(lambda: None)
+    assert engine.step_batch(4) == 4
+    assert engine.events_executed == 4
+    assert engine.step_batch(100) == 6
+
+
+def test_step_batch_stop_flag_halts_between_events():
+    engine = Engine()
+    stop = [False]
+    ran = []
+
+    def flip():
+        ran.append("flip")
+        stop[0] = True
+
+    engine.call_soon(flip)
+    engine.call_soon(ran.append, "after")
+    assert engine.step_batch(100, stop) == 1
+    assert ran == ["flip"]
+    stop[0] = False
+    assert engine.step_batch(100, stop) == 1
+    assert ran == ["flip", "after"]
+
+
+def test_step_batch_same_time_clock_push_keeps_order():
+    # A schedule_clock(0) from inside the sweep must fire in seq order
+    # relative to zero-delay events queued after it.
+    engine = Engine()
+    cpu = object()
+    trace = []
+
+    def first():
+        trace.append("first")
+        engine.schedule_clock(0, cpu, trace.append, "clock0")
+        engine.call_soon(trace.append, "soon-after-clock")
+
+    engine.call_soon(first)
+    engine.step_batch(10)
+    assert trace == ["first", "clock0", "soon-after-clock"]
+
+
+def test_per_cpu_clock_index_tracks_pops():
+    engine = Engine()
+    cpu_a, cpu_b = object(), object()
+    engine.schedule_clock(5, cpu_a, lambda: None)
+    engine.schedule_clock(7, cpu_a, lambda: None)
+    engine.schedule_clock(6, cpu_b, lambda: None)
+    engine.schedule(100, lambda: None)
+    assert engine.next_payload_time(cpu_a) == 5
+    assert engine.next_payload_time(cpu_b) == 6
+    engine.step()  # fires cpu_a@5
+    assert engine.next_payload_time(cpu_a) == 7
+    engine.step()  # fires cpu_b@6
+    assert engine.next_payload_time(cpu_b) == 100
+    engine.step()  # fires cpu_a@7
+    assert engine.next_payload_time(cpu_a) == 100
+    engine.run()
+    assert engine.now == 100
+
+
+def test_run_uses_batches_and_matches_run_until():
+    e1 = Engine()
+    order1 = []
+    _mixed_workload(e1, order1)
+    e1.run()
+    e2 = Engine()
+    order2 = []
+    _mixed_workload(e2, order2)
+    while e2.step_batch(4096):
+        pass
+    assert order1 == order2
+    assert e1.now == e2.now
