@@ -1,0 +1,160 @@
+"""One-sided (RMA) sweep: rendezvous-over-RDMA vs the packetized path.
+
+Runs :func:`repro.bench.rma.rma_bench` over put/get/two-sided at four
+message sizes, each under both transfer machineries (``rdma=True`` — the
+zero-copy RDMA path — and ``rdma=False`` — the packetized ablation),
+then enforces the acceptance criterion: **RDMA put and get bandwidth
+must be >= 1.3x the packetized path at every swept size** (all sizes sit
+above the 16 KiB IB rendezvous threshold).
+
+All numbers are *virtual* nanoseconds from the deterministic simulator,
+so the baseline comparison is exact: any drift from the committed
+``BENCH_rma.json`` means the RMA traffic itself changed, not the machine
+the benchmark ran on.
+
+Usage::
+
+    python benchmarks/perf/rmaperf.py --output BENCH_rma.json
+    python benchmarks/perf/rmaperf.py --quick --baseline BENCH_rma.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner import JobSpec, Runner  # noqa: E402
+
+SIZES = (32_768, 65_536, 262_144, 1_048_576)
+QUICK_SIZES = (65_536, 262_144)
+OPERATIONS = ("put", "get", "two_sided")
+MIN_RDMA_SPEEDUP = 1.3
+
+
+def sweep_specs(sizes: tuple[int, ...]) -> list[JobSpec]:
+    return [
+        JobSpec(kind="rma_bench",
+                params={"operation": operation, "size": size, "rdma": rdma,
+                        "reps": 3, "warmup": 1},
+                label=f"{operation}/{'rdma' if rdma else 'packet'}@{size}")
+        for size in sizes
+        for operation in OPERATIONS
+        for rdma in (True, False)
+    ]
+
+
+def run_sweep(sizes: tuple[int, ...], workers: int,
+              cache: str | None) -> list[dict]:
+    runner = Runner(workers=workers, cache=cache, out=print)
+    results = runner.run(sweep_specs(sizes))
+    failed = [r for r in results if not r.ok]
+    if failed:
+        for r in failed:
+            print(f"FAIL: {r.spec.display}: {r.error}")
+        raise SystemExit(1)
+    return [r.payload for r in results]
+
+
+def check_rdma_wins(points: list[dict]) -> list[str]:
+    """The acceptance criterion: RDMA >= 1.3x packetized for put/get."""
+    by_key = {(p["operation"], p["size"], p["rdma"]): p["bandwidth_mb_s"]
+              for p in points}
+    problems = []
+    for operation in ("put", "get"):
+        for size in sorted({p["size"] for p in points}):
+            rdma = by_key.get((operation, size, True))
+            packet = by_key.get((operation, size, False))
+            if rdma is None or packet is None:
+                continue
+            if rdma < MIN_RDMA_SPEEDUP * packet:
+                problems.append(
+                    f"{operation}@{size}: RDMA bandwidth {rdma:.1f} MB/s is "
+                    f"below {MIN_RDMA_SPEEDUP}x the packetized path "
+                    f"({packet:.1f} MB/s, ratio {rdma / packet:.2f})")
+    return problems
+
+
+def check_baseline(points: list[dict], baseline: dict) -> list[str]:
+    """Virtual times are deterministic — the comparison is exact."""
+    base = {(p["operation"], p["size"], p["rdma"]): p["mean_ns"]
+            for p in baseline.get("points", [])}
+    problems = []
+    for p in points:
+        key = (p["operation"], p["size"], p["rdma"])
+        if key in base and base[key] != p["mean_ns"]:
+            problems.append(
+                f"{p['operation']}/{'rdma' if p['rdma'] else 'packet'}@"
+                f"{p['size']}: mean {p['mean_ns']:.0f} ns differs from "
+                f"baseline {base[key]:.0f} ns (virtual time is "
+                f"deterministic; the RMA traffic changed)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", "-o", default=None,
+                        help="write the record as JSON to this path")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_rma.json to compare against "
+                             "(exact virtual-time match)")
+    parser.add_argument("--quick", action="store_true",
+                        help="64 KiB / 256 KiB only (CI smoke)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="runner worker processes (default 4)")
+    parser.add_argument("--cache", default=None,
+                        help="content-addressed result cache directory")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else SIZES
+    points = run_sweep(sizes, workers=args.workers, cache=args.cache)
+
+    record = {
+        "schema": "rmaperf/1",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "cluster": {"nodes": 2, "network": "ib"},
+        "points": points,
+    }
+
+    problems = check_rdma_wins(points)
+    if args.baseline:
+        problems += check_baseline(
+            points, json.loads(Path(args.baseline).read_text()))
+
+    by_key = {(p["operation"], p["size"], p["rdma"]): p["bandwidth_mb_s"]
+              for p in points}
+    for size in sorted({p["size"] for p in points}):
+        row = []
+        for operation in OPERATIONS:
+            rdma = by_key.get((operation, size, True))
+            packet = by_key.get((operation, size, False))
+            if rdma is None:
+                continue
+            cell = f"{operation}={rdma:.0f}MB/s"
+            if packet:
+                cell += f" ({rdma / packet:.2f}x pkt)"
+            row.append(cell)
+        print(f"rma @ {size:8d} B: " + "  ".join(row))
+
+    text = json.dumps(record, indent=1, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print("rmaperf: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,20 @@ delivery``          receive (delivered to user code) after the revocation
 ``dead-rank-leak``  A request referencing a dead rank (a posted receive
                     from it, or a rendezvous send towards it) survived to
                     MPI_Finalize — the FT layer failed to resolve it.
+``rma-epoch``       A one-sided operation (Put/Get/Accumulate) issued
+                    outside a fence epoch, or on a freed window
+                    (MPI 3.0 §11.5: active target synchronization).
+``rma-unfenced-     A fence completed at a target while an operation of
+completion``        the closing epoch targeting it was still unapplied —
+                    the fence's completion guarantee broke.
+``registration-     Explicitly registered (pinned) memory — a window —
+leak``              still registered at MPI_Finalize, or deregistration
+                    of memory that was never registered.
 ==================  =====================================================
+
+The RDMA rendezvous control packets (MAD_RDMA_REQ/ACK/DATA) shadow the
+same three-way handshake state machine as their packetized counterparts
+— the zero-copy path earns no slack from the checker.
 
 This module is imported by :mod:`repro.sim.engine` at module level, so it
 must not import anything from ``repro.sim`` / ``repro.madeleine`` /
@@ -107,6 +120,14 @@ class Checker:
         # base context ids each rank has seen revoked (rank -> set).
         self.dead_ranks: set[int] = set()
         self._revoked: dict[int, set[int]] = {}
+        # One-sided (RMA) shadow state: explicitly pinned regions
+        # ((rank, key) -> nbytes), per-(rank, window) fence counts,
+        # freed windows, and outstanding operations
+        # (op_uid -> (win_id, origin, target, issue_epoch)).
+        self._registrations: dict[tuple, int] = {}
+        self._win_epochs: dict[tuple[int, int], int] = {}
+        self._win_freed: set[tuple[int, int]] = set()
+        self._rma_outstanding: dict[Any, tuple[int, int, int, int]] = {}
 
     # -- violation plumbing ------------------------------------------------
 
@@ -168,10 +189,19 @@ class Checker:
 
     # -- rendezvous handshake (ch_mad) -------------------------------------
 
+    #: The RDMA rendezvous packets play the same handshake roles as the
+    #: packetized ones: request, acknowledgement, data.
+    _RNDV_KIND_ALIASES = {
+        "MAD_RDMA_REQ_PKT": "MAD_REQUEST_PKT",
+        "MAD_RDMA_ACK_PKT": "MAD_SENDOK_PKT",
+        "MAD_RDMA_DATA_PKT": "MAD_RNDV_PKT",
+    }
+
     def on_chmad_send(self, src: int, dst: int, header: Any) -> None:
         """A ch_mad packet leaves its origin (once, pre-forwarding)."""
         kind = header.pkt_type.name
         self.packets_seen[kind] = self.packets_seen.get(kind, 0) + 1
+        kind = self._RNDV_KIND_ALIASES.get(kind, kind)
         conn = f"{src}->{dst}"
         if kind == "MAD_REQUEST_PKT":
             if header.send_id in self._rndv:
@@ -217,7 +247,8 @@ class Checker:
 
     def on_chmad_recv(self, rank: int, header: Any) -> None:
         """A ch_mad packet reached its final destination's dispatcher."""
-        kind = header.pkt_type.name
+        kind = self._RNDV_KIND_ALIASES.get(header.pkt_type.name,
+                                           header.pkt_type.name)
         if kind == "MAD_REQUEST_PKT":
             entry = self._rndv.get(header.send_id)
             if entry is None or entry[0] != "requested":
@@ -365,6 +396,78 @@ class Checker:
             if mapped == send_id:
                 del self._sync_to_send[sync_id]
 
+    # -- one-sided (RMA) epoch discipline and registration audit -----------
+
+    def on_mem_register(self, rank: int | None, key: Any, nbytes: int) -> None:
+        """Memory pinned explicitly (window lifetime; not the LRU cache).
+
+        Registration-cache entries are deregistered lazily by eviction —
+        their lifetime is the cache's business, so they are *not*
+        reported here and their owners must not call this hook."""
+        self._registrations[(rank, key)] = nbytes
+
+    def on_mem_deregister(self, rank: int | None, key: Any) -> None:
+        """Explicitly pinned memory released."""
+        if self._registrations.pop((rank, key), None) is None:
+            self._violate(
+                "registration-leak", rank,
+                f"deregistration of memory {key!r} that was never "
+                "registered")
+
+    def on_win_create(self, rank: int, win_id: int) -> None:
+        """One rank's side of a window came up (MPI_Win_create)."""
+        self._win_epochs[(rank, win_id)] = 0
+        self._win_freed.discard((rank, win_id))
+
+    def on_win_fence(self, rank: int, win_id: int) -> None:
+        """``rank`` opened a new fence epoch on ``win_id``."""
+        state = self._win_epochs.get((rank, win_id))
+        if state is None or (rank, win_id) in self._win_freed:
+            self._violate("rma-epoch", rank,
+                          f"fence on unknown or freed window {win_id}")
+            return
+        self._win_epochs[(rank, win_id)] = state + 1
+
+    def on_rma_op(self, origin: int, win_id: int, op: str, target: int,
+                  op_uid: Any) -> None:
+        """``origin`` issued one Put/Get/Accumulate towards ``target``."""
+        epoch = self._win_epochs.get((origin, win_id))
+        if epoch is None or (origin, win_id) in self._win_freed or epoch == 0:
+            self._violate(
+                "rma-epoch", origin,
+                f"{op} on window {win_id} towards rank {target} issued "
+                + ("outside any fence epoch" if epoch == 0
+                   else "on an unknown or freed window"),
+                connection=f"{origin}->{target}")
+            return
+        self._rma_outstanding[op_uid] = (win_id, origin, target, epoch)
+
+    def on_rma_apply(self, rank: int, win_id: int, op_uid: Any) -> None:
+        """The operation took effect (target applied it, or origin's get
+        landed)."""
+        self._rma_outstanding.pop(op_uid, None)
+
+    def on_win_fence_complete(self, rank: int, win_id: int) -> None:
+        """``rank``'s fence returned: every op of the epoch it closes that
+        targets ``rank`` must already be applied (fence-ordered
+        completion).  Ops of the *next* epoch, issued by origins that
+        already passed their own fence, are legitimately in flight."""
+        epoch = self._win_epochs.get((rank, win_id), 0)
+        for op_uid, entry in sorted(self._rma_outstanding.items(),
+                                    key=lambda item: str(item[0])):
+            wid, origin, target, issue_epoch = entry
+            if wid == win_id and target == rank and issue_epoch <= epoch \
+                    and origin not in self.dead_ranks:
+                self._violate(
+                    "rma-unfenced-completion", rank,
+                    f"fence on window {win_id} completed with op {op_uid} "
+                    f"from rank {origin} (epoch {issue_epoch}) not yet "
+                    "applied", connection=f"{origin}->{rank}")
+
+    def on_win_free(self, rank: int, win_id: int) -> None:
+        """One rank's side of a window went down (MPI_Win_free)."""
+        self._win_freed.add((rank, win_id))
+
     # -- finalize leak checks ----------------------------------------------
 
     def on_finalize(self, env: Any) -> None:
@@ -432,6 +535,15 @@ class Checker:
                           f"{len(pending)} rendezvous send(s) never "
                           "acknowledged (send_ids "
                           f"{sorted(pending)})")
+        leaked = sorted(((key, nbytes) for (reg_rank, key), nbytes
+                         in self._registrations.items()
+                         if reg_rank == rank),
+                        key=lambda item: str(item[0]))
+        for key, nbytes in leaked:
+            self._violate(
+                "registration-leak", rank,
+                f"{nbytes}-byte registration {key!r} still pinned at "
+                "MPI_Finalize (window never freed?)")
 
     def on_world_finalize(self) -> None:
         """Cluster-wide residue audit after every rank finalized.

@@ -259,6 +259,92 @@ def _build_rank_death(workload_seed: int):
 
 
 # ---------------------------------------------------------------------------
+# rma_storm: one-sided Put/Get/Accumulate epochs + a p2p ring, on lossy IB
+# ---------------------------------------------------------------------------
+
+def _build_rma_storm(workload_seed: int):
+    """Mixed one-sided traffic whose result is schedule-independent by
+    construction:
+
+    - puts from origin ``o`` only ever land in slice ``[o*32, (o+1)*32)``
+      of a target window, and same-origin sends are non-overtaking, so
+      the final slice contents are the origin's *last* put in program
+      order whatever the interleaving;
+    - accumulate is SUM over int64 slots (commutative — apply order
+      within an epoch cannot matter);
+    - gets read only the static region ``[192, 256)``, stamped by each
+      owner before the first fence and never written again, so both the
+      RDMA-read fast path and the agent reply path return the same bytes.
+
+    The p2p ring rides alongside with sizes up to 60 kB so the epochs
+    share the wire with RDMA-rendezvous traffic, all over a lossy plan
+    covering both fabrics (HCA retransmits + reliable transport).
+    """
+    import hashlib
+
+    nranks = 4
+    win_size = 256
+    rng = random.Random(seed_namespace("rma-storm", workload_seed))
+    epochs = []
+    for _ in range(3):
+        ops = []
+        for origin in range(nranks):
+            for _ in range(rng.randrange(2, 6)):
+                kind = rng.choice(("put", "acc", "get"))
+                target = rng.randrange(nranks)
+                if kind == "put":
+                    ops.append((origin, "put", target,
+                                rng.randrange(1, 33), rng.randrange(256)))
+                elif kind == "acc":
+                    ops.append((origin, "acc", target,
+                                rng.randrange(8), rng.randrange(1, 1000)))
+                else:
+                    ops.append((origin, "get", target,
+                                192 + rng.randrange(32), rng.randrange(1, 33)))
+        ring_size = rng.choice((0, 4, 8192, 60_000))
+        epochs.append((tuple(ops), ring_size))
+    config = ClusterConfig(
+        nodes=_nodes(nranks, ("ib", "tcp")),
+        fault_plan=lossy_plan(0.02, fabrics=("tcp", "ib"),
+                              seed=workload_seed + 1),
+    )
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        win = yield from comm.win_create(win_size)
+        # Owner-stamped static read region, before any epoch opens.
+        win.buffer[192:256] = np.arange(64, dtype=np.uint8) + me
+        yield from win.fence()
+        gets = []
+        for step, (ops, ring_size) in enumerate(epochs):
+            pending = []
+            for origin, kind, target, a, b in ops:
+                if origin != me:
+                    continue
+                if kind == "put":
+                    yield from win.put(target, me * 32, bytes([b]) * a)
+                elif kind == "acc":
+                    yield from win.accumulate(target, 128 + a * 8, [b])
+                else:
+                    result = yield from win.get(target, a, b)
+                    pending.append((step, target, a, b, result))
+            right, left = (me + 1) % comm.size, (me - 1) % comm.size
+            yield from comm.sendrecv(("ring", step, me), dest=right,
+                                     sendtag=step, source=left,
+                                     recvtag=step, size=ring_size)
+            yield from win.fence()
+            for entry in pending:
+                step_, target, offset, length, result = entry
+                gets.append((step_, target, offset, length, result.data))
+        digest = hashlib.sha256(bytes(win.buffer)).hexdigest()
+        yield from win.free()
+        return (digest, tuple(sorted(gets, key=repr)))
+
+    return config, program
+
+
+# ---------------------------------------------------------------------------
 # mixed: seeded p2p storm (wildcards, all send modes, eager + rendezvous)
 # ---------------------------------------------------------------------------
 
@@ -362,5 +448,8 @@ WORKLOADS: dict[str, Workload] = {
                  "reliable transport", _build_lossy),
         Workload("rank_death", "a seed-chosen rank dies mid-job; survivors "
                  "revoke, shrink and finish", _build_rank_death),
+        Workload("rma_storm", "one-sided Put/Get/Accumulate fence epochs "
+                 "plus a p2p ring, 4 ranks on lossy IB+TCP",
+                 _build_rma_storm),
     )
 }

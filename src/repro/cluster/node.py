@@ -73,6 +73,10 @@ class ClusterConfig:
     #: revoke/shrink/agree API) even without a fault plan that kills
     #: ranks.  A plan containing deaths enables all of this implicitly.
     ft: bool = False
+    #: Rendezvous-over-RDMA on IB channels.  Off = packetized ablation:
+    #: large messages on IB take the MAD_RNDV_PKT path like any other
+    #: network (the baseline the RMA benchmarks compare against).
+    rdma: bool = True
 
     def __post_init__(self) -> None:
         if self.device not in ("ch_mad", "ch_p4"):

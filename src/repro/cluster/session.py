@@ -192,6 +192,7 @@ class MPIWorld:
             preference=config.channel_preference,
             forward_routes=forward_routes,
             padded_short_packets=config.padded_short_packets,
+            rdma_rendezvous=config.rdma,
         )
 
     # -- execution ----------------------------------------------------------------

@@ -142,9 +142,17 @@ class FaultPlan:
         return cls(seed=seed, deaths=(NodeDeath(rank=rank, at=at),))
 
 
-def lossy_plan(rate: float, fabrics: tuple[str, ...] = ("tcp", "sisci", "bip"),
+def lossy_plan(rate: float,
+               fabrics: tuple[str, ...] = ("tcp", "sisci", "bip", "ib"),
                seed: int = 0) -> FaultPlan:
-    """Shorthand: uniform probabilistic loss on the named fabrics."""
+    """Shorthand: uniform probabilistic loss on the named fabrics.
+
+    On IB the plan also covers RDMA traffic — writes, reads and HCA
+    acks all pass through ``NetworkFabric.schedule_delivery`` — so the
+    RC retransmission model gets exercised, not just the channel
+    transport.  (Uncovered fabrics never consult the fault RNG, so
+    adding ``"ib"`` here leaves every IB-free digest bit-identical.)
+    """
     return FaultPlan(
         fabrics={name: FabricFaults(drop_rate=rate) for name in fabrics},
         seed=seed,

@@ -21,6 +21,7 @@ from repro.madeleine.reliable import (
 from repro.marcel.thread import MarcelRuntime
 from repro.networks import ENDPOINT_CLASSES, PROTOCOL_PARAMS, base_protocol
 from repro.networks.fabric import Delivery, NetworkFabric
+from repro.networks.ib import HcaAck, RdmaOp
 from repro.networks.memory import MemoryModel
 from repro.networks.nic import ProtocolEndpoint
 from repro.networks.params import ProtocolParams
@@ -103,6 +104,17 @@ class MadProcess:
             source = getattr(wire, "source_rank", None)
             if source is not None:
                 self.detector.heard_from(source)
+        if isinstance(wire, (RdmaOp, HcaAck)):
+            # RDMA traffic never belongs to a channel: it is consumed by
+            # the HCA model of the fabric's own endpoint (which applies
+            # the RC reliability rules — CRC drop, dedup, ack).
+            endpoint = self._endpoints.get(delivery.dest.fabric.name)
+            if endpoint is None:  # pragma: no cover - defensive
+                raise ChannelError(
+                    f"{self.name} received RDMA traffic for unattached "
+                    f"fabric {delivery.dest.fabric.name!r}")
+            endpoint.hca_receive(delivery)
+            return
         channel_id = getattr(wire, "channel_id", None)
         port = self._ports_by_channel.get(channel_id)
         if port is None:

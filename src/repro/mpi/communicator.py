@@ -575,6 +575,18 @@ class Communicator:
         """Mark the communicator unusable (MPI_Comm_free)."""
         self.freed = True
 
+    # -- one-sided communication (MPI-2 RMA) --------------------------------
+
+    def win_create(self, size: int) -> Generator:
+        """Collective: expose ``size`` bytes per rank as an RMA window
+        (MPI_Win_create).  Evaluates to a :class:`~repro.mpi.win.Win`;
+        access it between :meth:`~repro.mpi.win.Win.fence` calls.
+        """
+        self._check_live()
+        from repro.mpi.win import Win
+        win = yield from Win.create(self, size)
+        return win
+
     # -- attribute caching (MPI_Comm_set_attr and friends) ----------------
 
     def set_attr(self, key: Any, value: Any) -> None:

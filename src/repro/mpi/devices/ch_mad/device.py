@@ -44,7 +44,7 @@ from repro.mpi.devices.ch_mad.packets import (
     ChMadHeader,
     MadPktType,
 )
-from repro.mpi.devices.ch_mad.polling import ChannelPoller
+from repro.mpi.devices.ch_mad.polling import ChannelPoller, RdmaCompletionPoller
 from repro.mpi.devices.ch_mad.switchpoints import (
     CH_MAD_TUNING,
     CHANNEL_PREFERENCE,
@@ -57,11 +57,19 @@ from repro.sim.coroutines import charge, sleep, wait
 
 @dataclass(frozen=True)
 class ChMadRndvToken:
-    """Identity of a pending rendezvous request (who to acknowledge)."""
+    """Identity of a pending rendezvous request (who to acknowledge).
+
+    ``rdma`` marks a rendezvous whose body will arrive as one RDMA write
+    instead of a MAD_RNDV_PKT: the ack path must pre-register the receive
+    buffer (``envelope`` carries its size) and answer with
+    MAD_RDMA_ACK_PKT so the sender knows the write may go.
+    """
 
     device: "ChMadDevice"
     requester_world: int
     send_id: int
+    rdma: bool = False
+    envelope: Envelope | None = None
 
 
 class ChMadDevice(Device):
@@ -76,7 +84,8 @@ class ChMadDevice(Device):
                  switch_points: dict[str, int] | None = None,
                  preference: tuple[str, ...] | None = None,
                  forward_routes: dict[int, int] | None = None,
-                 padded_short_packets: bool = False):
+                 padded_short_packets: bool = False,
+                 rdma_rendezvous: bool = True):
         if not ports:
             raise ConfigurationError("ch_mad needs at least one channel port")
         self.progress = progress
@@ -100,8 +109,11 @@ class ChMadDevice(Device):
         #: Next-hop table for destinations with no shared network
         #: (forwarding extension; empty = paper's §6 limitation applies).
         self.forward_routes = dict(forward_routes or {})
+        #: Rendezvous-over-RDMA on IB channels (off = packetized ablation:
+        #: large messages take the MAD_RNDV_PKT path even on IB).
+        self.rdma_rendezvous = rdma_rendezvous
         self._pending_sends: dict[int, SendHandle] = {}
-        self._pollers: list[ChannelPoller] = []
+        self._pollers: list = []
         self.term_received = 0
         self.packets_relayed = 0
         self.heartbeats_received = 0
@@ -119,10 +131,18 @@ class ChMadDevice(Device):
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn one polling thread per channel (§4.2.3)."""
+        """Spawn one polling thread per channel (§4.2.3).
+
+        IB channels get a second poller over the endpoint's RDMA
+        completion queue: inbound rendezvous bodies written by remote
+        HCAs complete there, never through the channel packet machinery.
+        """
         for protocol in sorted(self.ports):
             port = self.ports[protocol]
             self._pollers.append(ChannelPoller(self, port))
+            if base_protocol(protocol) == "ib" and \
+                    hasattr(port.endpoint, "rdma_mailbox"):
+                self._pollers.append(RdmaCompletionPoller(self, port))
             port.channel.add_death_listener(self._on_channel_death)
 
     def _on_channel_death(self, channel) -> None:
@@ -393,6 +413,16 @@ class ChMadDevice(Device):
 
     def send_rndv(self, dest_world: int, shandle: SendHandle) -> Generator:
         """Rendezvous, sender side: request, await ack, send data (§4.2.2)."""
+        if self.rdma_rendezvous:
+            port = self.direct_port(dest_world,
+                                    lane=self._lane_of(
+                                        ChMadHeader(MadPktType.MAD_REQUEST_PKT,
+                                                    envelope=shandle.envelope)))
+            if port is not None and \
+                    base_protocol(port.channel.protocol) == "ib" and \
+                    hasattr(port.endpoint, "rdma_write"):
+                yield from self._send_rndv_rdma(dest_world, shandle, port)
+                return
         shandle.dest_world = dest_world
         self._pending_sends[shandle.send_id] = shandle
         yield from self._transmit_packet(
@@ -433,8 +463,90 @@ class ChMadDevice(Device):
         )
         shandle.flag.set()
 
+    def _send_rndv_rdma(self, dest_world: int, shandle: SendHandle,
+                        port: ChannelPort) -> Generator:
+        """Rendezvous over RDMA (Liu et al.): zero-copy body, no packets.
+
+        Control flow mirrors :meth:`send_rndv` — request, await ack —
+        but the request pre-registers the send buffer (amortized by the
+        registration cache), the ack certifies the receive buffer is
+        registered, and the body goes as **one RDMA write** straight
+        into it: no MAD_RNDV_PKT, no pack/unpack, no per-byte CPU on
+        either side.  Completion is piggybacked: the write itself is the
+        receiver's notification (via its HCA completion queue).
+        """
+        engine = self.progress.runtime.engine
+        envelope = shandle.envelope
+        shandle.dest_world = dest_world
+        self._pending_sends[shandle.send_id] = shandle
+        endpoint = port.endpoint
+        yield from endpoint.register(
+            ("rndv-send", envelope.context_id, dest_world, envelope.tag,
+             envelope.size),
+            envelope.size,
+        )
+        yield from self._transmit_packet(
+            dest_world,
+            ChMadHeader(MadPktType.MAD_RDMA_REQ_PKT, envelope=envelope,
+                        send_id=shandle.send_id),
+            None, 0,
+        )
+        shandle.notify_request_sent()
+        shandle.ack_flag.rank_dep = dest_world
+        shandle.ack_flag.dep_describe = (
+            f"RDMA rendezvous ack from rank {dest_world} "
+            f"(send_id={shandle.send_id})")
+        sync_id = yield wait(shandle.ack_flag)
+        if sync_id is None:
+            self._pending_sends.pop(shandle.send_id, None)
+            raise shandle.error or MPIProcFailedError(
+                f"rendezvous to rank {dest_world} aborted: peer failed",
+                failed_rank=dest_world,
+            )
+        header = ChMadHeader(MadPktType.MAD_RDMA_DATA_PKT, envelope=envelope,
+                             sync_id=sync_id)
+        checker = engine.checker
+        if checker.enabled:
+            checker.on_chmad_send(self.world_rank, dest_world, header)
+        engine.tracer.emit(
+            "chmad.send", src=self.world_rank, dst=dest_world,
+            pkt=header.pkt_type.name, protocol=port.channel.protocol,
+            body=envelope.size,
+        )
+        ins = engine.instruments
+        if ins.enabled:
+            ins.count("chmad.packets", 1, pkt=header.pkt_type.name,
+                      protocol=port.channel.protocol, rank=self.world_rank,
+                      dir="send")
+        remote = port.channel.port(dest_world).endpoint
+        yield from endpoint.rdma_write(remote, header, envelope, sync_id,
+                                       shandle.data, envelope.size)
+        shandle.flag.set()
+
     def send_rndv_ack(self, token: ChMadRndvToken, sync_id: int) -> Generator:
-        """Rendezvous, receiver side: MAD_SENDOK_PKT with our sync id."""
+        """Rendezvous, receiver side: MAD_SENDOK_PKT with our sync id.
+
+        For an RDMA rendezvous the receive buffer must be registered
+        *before* the ack goes out — the ack is the sender's licence to
+        write — and the ack travels as MAD_RDMA_ACK_PKT.
+        """
+        if token.rdma:
+            port = self.direct_port(token.requester_world)
+            if port is not None and hasattr(port.endpoint, "register") and \
+                    token.envelope is not None:
+                yield from port.endpoint.register(
+                    ("rndv-recv", token.envelope.context_id,
+                     token.requester_world, token.envelope.tag,
+                     token.envelope.size),
+                    token.envelope.size,
+                )
+            yield from self._transmit_packet(
+                token.requester_world,
+                ChMadHeader(MadPktType.MAD_RDMA_ACK_PKT,
+                            send_id=token.send_id, sync_id=sync_id),
+                None, 0,
+            )
+            return
         yield from self._transmit_packet(
             token.requester_world,
             ChMadHeader(MadPktType.MAD_SENDOK_PKT, send_id=token.send_id,

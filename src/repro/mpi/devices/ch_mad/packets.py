@@ -39,6 +39,13 @@ class MadPktType(enum.IntEnum):
     MAD_TERM_PKT = 5      # program termination
     MAD_FWD_PKT = 6       # gateway-forwarded packet (extension, §6)
     MAD_HB_PKT = 7        # liveness heartbeat (fault tolerance extension)
+    # Rendezvous-over-RDMA (IB extension, after Liu et al.): the request
+    # and ack are ordinary channel control packets; the body travels as
+    # one RDMA write that never enters the packet state machine.
+    MAD_RDMA_REQ_PKT = 8  # rendezvous request, RDMA body to follow
+    MAD_RDMA_ACK_PKT = 9  # receive buffer registered, RDMA write may go
+    MAD_RDMA_DATA_PKT = 10  # synthetic: tags the RDMA-written body for
+    #                         tracing/checking; never on the channel wire
 
 
 #: Extra routing fields carried by a forwarded packet's header
@@ -55,6 +62,8 @@ CH_MAD_HEADER_BYTES = TYPE_FIELD_BYTES + max(
     PKT_REQUEST_SEND_BYTES,                        # MAD_REQUEST_PKT
     PKT_OK_TO_SEND_BYTES,                          # MAD_SENDOK_PKT
     0,                                             # MAD_TERM_PKT (empty)
+    # MAD_RDMA_REQ_PKT reuses the request layout, MAD_RDMA_ACK_PKT the
+    # sendok layout — neither grows the header.
 )
 
 

@@ -49,7 +49,17 @@ def dispatch_local(device: "ChMadDevice", header: ChMadHeader,
         token = ChMadRndvToken(device, header.envelope.source, header.send_id)
         yield from device.progress.deliver_rndv_request(header.envelope,
                                                         token, device)
-    elif kind is MadPktType.MAD_SENDOK_PKT:
+    elif kind is MadPktType.MAD_RDMA_REQ_PKT:
+        # Same matching flow as MAD_REQUEST_PKT; the token records that
+        # the body will arrive by RDMA write, so the ack path registers
+        # the receive buffer and answers MAD_RDMA_ACK_PKT.
+        from repro.mpi.devices.ch_mad.device import ChMadRndvToken
+        token = ChMadRndvToken(device, header.envelope.source, header.send_id,
+                               rdma=True, envelope=header.envelope)
+        yield from device.progress.deliver_rndv_request(header.envelope,
+                                                        token, device)
+    elif kind is MadPktType.MAD_SENDOK_PKT or \
+            kind is MadPktType.MAD_RDMA_ACK_PKT:
         device._complete_ack(header.send_id, header.sync_id)
     elif kind is MadPktType.MAD_RNDV_PKT:
         yield from device.progress.deliver_rndv_data(header.sync_id,
@@ -130,3 +140,51 @@ class ChannelPoller:
             )
         yield from incoming.end_unpacking()
         yield from dispatch_local(device, header, body)
+
+
+class RdmaCompletionPoller:
+    """Polls one IB endpoint's RDMA completion queue (CQ).
+
+    An inbound rendezvous body written by a remote HCA completes here:
+    the op carries its own synthetic MAD_RDMA_DATA_PKT header (the
+    piggybacked completion record), so the handler can feed the ordinary
+    ``deliver_rndv_data`` path — same matching, same checker shadowing —
+    without the body ever having crossed the channel packet machinery.
+    Like every poller, it never sends.
+    """
+
+    def __init__(self, device: "ChMadDevice", port: ChannelPort):
+        self.device = device
+        self.port = port
+        from repro.networks import base_protocol
+        from repro.marcel.polling import PollSource
+        endpoint = port.endpoint
+        self.tuning = device.tuning[base_protocol(port.channel.protocol)]
+        source = PollSource(
+            name=f"{port.channel.name}.cq@{port.rank}",
+            mode=endpoint.params.poll_mode,
+            mailbox=endpoint.rdma_mailbox,
+            poll_cost=endpoint.params.poll_cost,
+            period=endpoint.params.poll_period,
+            idle_period=endpoint.params.poll_idle_period,
+        )
+        self.thread = PollingThread(device.progress.runtime, source,
+                                    self.handle)
+
+    def stop(self) -> None:
+        self.thread.stop()
+
+    def handle(self, op: Any) -> Generator:
+        device = self.device
+        checker = device.progress.runtime.engine.checker
+        if checker.enabled:
+            checker.on_chmad_recv(device.world_rank, op.header)
+        ins = device.progress.runtime.engine.instruments
+        if ins.enabled:
+            ins.count("chmad.packets", 1, pkt=op.header.pkt_type.name,
+                      protocol=self.port.channel.protocol,
+                      rank=device.world_rank, dir="recv")
+        yield charge(self.tuning.recv_handling)
+        yield from device.progress.deliver_rndv_data(op.sync_id,
+                                                     op.header.envelope,
+                                                     op.data)

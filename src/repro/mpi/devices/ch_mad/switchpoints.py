@@ -23,16 +23,19 @@ from typing import Iterable
 from repro.errors import ConfigurationError
 from repro.units import us
 
-#: Experimental switch points per protocol (bytes).
+#: Experimental switch points per protocol (bytes).  IB follows Liu et
+#: al.: eager copies through pre-registered bounce buffers up to 16 KB,
+#: past which the rendezvous(-over-RDMA) path wins.
 SWITCH_POINTS: dict[str, int] = {
     "tcp": 64 * 1024,
     "sisci": 8 * 1024,
     "bip": 7 * 1024,
+    "ib": 16 * 1024,
 }
 
 #: Networks ordered by performance (bandwidth), best first — used when
 #: SCI is absent.
-PERFORMANCE_RANK: tuple[str, ...] = ("bip", "sisci", "tcp")
+PERFORMANCE_RANK: tuple[str, ...] = ("ib", "bip", "sisci", "tcp")
 
 
 def elect_threshold(protocols: Iterable[str],
@@ -85,8 +88,10 @@ CH_MAD_TUNING: dict[str, ChMadTuning] = {
     "sisci": ChMadTuning(send_handling=us(2.8), recv_handling=us(4.0)),
     "bip": ChMadTuning(send_handling=us(2.0), recv_handling=us(3.0),
                        rndv_body_ns_per_byte=0.55),
+    # IB glue is modern verbs-style: a WQE post and a CQ poll.
+    "ib": ChMadTuning(send_handling=us(1.0), recv_handling=us(1.5)),
 }
 
 #: Channel-selection preference when several networks reach a peer:
 #: the fastest common network wins.
-CHANNEL_PREFERENCE: tuple[str, ...] = ("bip", "sisci", "tcp")
+CHANNEL_PREFERENCE: tuple[str, ...] = ("ib", "bip", "sisci", "tcp")

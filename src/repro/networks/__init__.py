@@ -20,6 +20,7 @@ Structure:
 
 from repro.networks.bip import BIP_MYRINET, BipEndpoint
 from repro.networks.fabric import Adapter, Delivery, NetworkFabric
+from repro.networks.ib import IB_4X, IbEndpoint, IbParams, RegistrationCache
 from repro.networks.memory import MemoryModel, PAPER_NODE_MEMORY
 from repro.networks.nic import ProtocolEndpoint
 from repro.networks.params import MemoryParams, ProtocolParams
@@ -30,12 +31,14 @@ PROTOCOL_PARAMS = {
     "tcp": TCP_FAST_ETHERNET,
     "sisci": SISCI_SCI,
     "bip": BIP_MYRINET,
+    "ib": IB_4X,
 }
 
 ENDPOINT_CLASSES = {
     "tcp": TcpEndpoint,
     "sisci": SisciEndpoint,
     "bip": BipEndpoint,
+    "ib": IbEndpoint,
 }
 
 
@@ -54,6 +57,9 @@ __all__ = [
     "BipEndpoint",
     "Delivery",
     "ENDPOINT_CLASSES",
+    "IB_4X",
+    "IbEndpoint",
+    "IbParams",
     "MemoryModel",
     "MemoryParams",
     "NetworkFabric",
@@ -61,6 +67,7 @@ __all__ = [
     "PROTOCOL_PARAMS",
     "ProtocolEndpoint",
     "ProtocolParams",
+    "RegistrationCache",
     "SISCI_SCI",
     "SisciEndpoint",
     "TCP_FAST_ETHERNET",

@@ -120,6 +120,14 @@ def _run_coll_bench(params: dict[str, Any], seed: int) -> dict[str, Any]:
     return collective_bench(**params)
 
 
+@register("rma_bench")
+def _run_rma_bench(params: dict[str, Any], seed: int) -> dict[str, Any]:
+    from repro.bench.rma import rma_bench
+
+    del seed  # virtual-time benchmark; the engine default seed applies
+    return rma_bench(**params)
+
+
 @register("fuzz_workload")
 def _run_fuzz_workload(params: dict[str, Any], seed: int) -> dict[str, Any]:
     from repro.check.fuzz import run_workload

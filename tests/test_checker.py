@@ -349,3 +349,96 @@ def test_violation_message_is_actionable():
     assert "[reliable-window]" in text
     assert "rank 3" in text
     assert "sci-chan:1->3" in text
+
+
+# ---------------------------------------------------------------------------
+# plants: one-sided (RMA) epoch discipline and registration audit
+# ---------------------------------------------------------------------------
+
+def _ib_pair():
+    return ClusterConfig(nodes=[NodeSpec("n0", networks=("ib",)),
+                                NodeSpec("n1", networks=("ib",))])
+
+
+def test_rma_access_outside_epoch_is_flagged():
+    """A put before the first fence is access outside any exposure epoch."""
+    world = MPIWorld(_ib_pair())
+    world.engine.enable_checker(raise_on_violation=True)
+
+    def program(mpi):
+        comm = mpi.comm_world
+        win = yield from comm.win_create(64)
+        if comm.rank == 0:
+            # No fence has opened an epoch yet.
+            yield from win.put(1, 0, b"too-early")
+        yield from win.fence()
+        yield from win.fence()
+        yield from win.free()
+
+    with pytest.raises(CheckViolation) as excinfo:
+        world.run(program)
+    violation = excinfo.value
+    assert violation.invariant == "rma-epoch"
+    assert violation.rank == 0
+    assert violation.connection == "0->1"
+    assert "outside any fence epoch" in violation.details
+
+
+def test_rma_unfenced_completion_is_flagged():
+    """Unit plant: a fence that completes with an epoch op unapplied."""
+    checker = fresh_checker()
+    checker.on_win_create(0, 77)
+    checker.on_win_create(1, 77)
+    checker.on_win_fence(0, 77)
+    checker.on_win_fence(1, 77)
+    checker.on_rma_op(0, 77, "put", 1, "77.0.1")
+    # Rank 1's fence returns without the put ever being applied — the
+    # fence-ordered-completion contract is broken.
+    checker.on_win_fence_complete(1, 77)
+    assert [v.invariant for v in checker.violations] == [
+        "rma-unfenced-completion"]
+    violation = checker.violations[0]
+    assert violation.rank == 1
+    assert violation.connection == "0->1"
+    assert "77.0.1" in violation.details
+
+
+def test_rma_applied_ops_complete_fence_cleanly():
+    """The positive twin: applied ops make the same fence violation-free."""
+    checker = fresh_checker()
+    checker.on_win_create(0, 77)
+    checker.on_win_create(1, 77)
+    checker.on_win_fence(0, 77)
+    checker.on_win_fence(1, 77)
+    checker.on_rma_op(0, 77, "put", 1, "77.0.1")
+    checker.on_rma_apply(1, 77, "77.0.1")
+    checker.on_win_fence_complete(1, 77)
+    assert checker.violations == []
+
+
+def test_registration_leak_reported_at_finalize():
+    """Explicitly pinned memory never released fails the finalize audit."""
+    world = MPIWorld(_ib_pair())
+    world.engine.enable_checker(raise_on_violation=True)
+
+    def program(mpi):
+        yield from mpi.comm_world.barrier()
+        if mpi.rank == 1:
+            yield from mpi.process.endpoint("ib").register_explicit(
+                ("leak", mpi.rank), 4096)
+
+    with pytest.raises(CheckViolation) as excinfo:
+        world.run(program)
+    violation = excinfo.value
+    assert violation.invariant == "registration-leak"
+    assert violation.rank == 1
+    assert "4096" in violation.details
+    assert "still pinned" in violation.details
+
+
+def test_deregister_of_unregistered_memory_is_flagged():
+    checker = fresh_checker()
+    checker.on_mem_deregister(2, ("win", 9))
+    assert [v.invariant for v in checker.violations] == ["registration-leak"]
+    assert checker.violations[0].rank == 2
+    assert "never registered" in checker.violations[0].details

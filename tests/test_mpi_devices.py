@@ -29,7 +29,10 @@ class TestThresholdElection:
             elect_threshold({"quadrics"})
 
     def test_paper_values(self):
-        assert SWITCH_POINTS == {"tcp": 65536, "sisci": 8192, "bip": 7168}
+        # tcp/sisci/bip are the paper's Table 1 values; ib comes from the
+        # MVAPICH-style rendezvous threshold of the RDMA extension.
+        assert SWITCH_POINTS == {"tcp": 65536, "sisci": 8192, "bip": 7168,
+                                 "ib": 16384}
 
 
 class TestDeviceSelection:

@@ -214,3 +214,112 @@ def test_wildcards_and_collectives_run_checker_clean(schedule):
                        for src, dst, tag, size, mode, mid in messages
                        if dst == me), key=repr)
         assert got == want, f"delivery multiset mismatch on rank {me}"
+
+
+@st.composite
+def rma_programs(draw):
+    """Random fenced Put/Get/Accumulate programs with a sequential oracle.
+
+    The window is 8 slots of 8 bytes.  Conflict discipline keeps every
+    schedule deterministic: origin ``o`` only ever puts into slot ``o``
+    (disjoint writers), slots 4-5 are SUM-accumulate counters
+    (commutative), slots 6-7 are static; gets that would read a slot
+    written in the same epoch are filtered out at generation time (such
+    conflicting accesses are undefined in MPI).
+    """
+    nranks = draw(st.integers(2, 3))
+    nepochs = draw(st.integers(1, 3))
+    epochs = []
+    for _ in range(nepochs):
+        nops = draw(st.integers(0, 8))
+        ops = []
+        for _ in range(nops):
+            origin = draw(st.integers(0, nranks - 1))
+            target = draw(st.integers(0, nranks - 1))
+            kind = draw(st.sampled_from(["put", "acc", "get"]))
+            if kind == "put":
+                ops.append((origin, "put", target, origin,
+                            draw(st.integers(0, 255))))
+            elif kind == "acc":
+                ops.append((origin, "acc", target,
+                            draw(st.integers(4, 5)),
+                            draw(st.integers(1, 500))))
+            else:
+                ops.append((origin, "get", target,
+                            draw(st.integers(0, 7)), 0))
+        written = {(t, s) for (_o, k, t, s, _v) in ops if k != "get"}
+        epochs.append(tuple(op for op in ops
+                            if op[1] != "get" or (op[2], op[3]) not in written))
+    return nranks, tuple(epochs)
+
+
+@given(rma_programs())
+@settings(max_examples=10, deadline=None)
+def test_random_rma_matches_sequential_model(program_spec):
+    """Random fenced RMA traffic vs a sequential reference model.
+
+    The model applies epochs strictly in order — puts overwrite (last
+    same-origin write wins, and origins write disjoint slots), accs sum,
+    gets read the pre-epoch value of unwritten slots.  Whatever the
+    schedule (and whichever path a get takes — agent reply or true
+    rdma_read), every rank's final window and get results must match.
+    """
+    import numpy as np
+    from repro.sim.engine import EngineConfig
+
+    nranks, epochs = program_spec
+
+    # Sequential reference: state[rank] = 64-byte window.
+    state = [bytearray(64) for _ in range(nranks)]
+    for rank in range(nranks):
+        state[rank][48:64] = bytes((i + rank) % 256 for i in range(16))
+    expected_gets = [[] for _ in range(nranks)]
+    for step, ops in enumerate(epochs):
+        snapshot = [bytes(s) for s in state]
+        for origin, kind, target, slot, value in ops:
+            if kind == "get":
+                expected_gets[origin].append(
+                    (step, target, slot, snapshot[target][slot * 8:
+                                                          slot * 8 + 8]))
+        for origin, kind, target, slot, value in ops:
+            if kind == "put":
+                state[target][slot * 8:slot * 8 + 8] = bytes([value]) * 8
+            elif kind == "acc":
+                arr = np.frombuffer(state[target], dtype="<i8").copy()
+                arr[slot] += value
+                state[target] = bytearray(arr.tobytes())
+
+    config = linear_cluster(nranks, networks=("ib", "tcp"))
+    world = MPIWorld(config, engine_config=EngineConfig(checker=True))
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        win = yield from comm.win_create(64)
+        win.buffer[48:64] = (np.arange(16, dtype=np.uint16) + me) % 256
+        yield from win.fence()
+        gets = []
+        for step, ops in enumerate(epochs):
+            pending = []
+            for origin, kind, target, slot, value in ops:
+                if origin != me:
+                    continue
+                if kind == "put":
+                    yield from win.put(target, slot * 8, bytes([value]) * 8)
+                elif kind == "acc":
+                    yield from win.accumulate(target, slot * 8, [value])
+                else:
+                    result = yield from win.get(target, slot * 8, 8)
+                    pending.append((step, target, slot, result))
+            yield from win.fence()
+            gets.extend((step, target, slot, result.data)
+                        for step, target, slot, result in pending)
+        final = bytes(win.buffer)
+        yield from win.free()
+        return (final, gets)
+
+    results = world.run(program)
+    assert world.engine.checker.violations == []
+    for rank, (final, gets) in enumerate(results):
+        assert final == bytes(state[rank]), f"window mismatch on rank {rank}"
+        assert gets == expected_gets[rank], f"get mismatch on rank {rank}"
