@@ -20,6 +20,7 @@ Run:  python examples/fault_tolerance_demo.py
 from repro.bench.report import format_table
 from repro.cluster import MPIWorld, cluster_of_clusters
 from repro.faults import FaultPlan, fabric_death
+from repro.sim.engine import install_instrumentation
 from repro.units import us
 
 #: Virtual time at which the SCI fabric dies (mid-run: the job below
@@ -59,7 +60,7 @@ def main():
 
     plan = FaultPlan(fabrics={"sisci": fabric_death(SCI_DEATH_NS)}, seed=1)
     faulty_world = make_world(plan)
-    ins = faulty_world.engine.enable_instrumentation()
+    ins = install_instrumentation(faulty_world.engine)
     faulty = faulty_world.run(program)
 
     assert faulty == clean, "failover changed MPI-level results!"

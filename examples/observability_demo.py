@@ -3,7 +3,7 @@
 
 Builds a three-node cluster where two nodes share SCI and all three
 share TCP, so one MPI job genuinely drives both networks at once (the
-paper's headline capability).  With ``engine.enable_instrumentation()``
+paper's headline capability).  With ``install_instrumentation(engine)``
 the run produces:
 
 - typed metrics — per-channel message/byte counters with the
@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cluster import ClusterConfig, MPIWorld, NodeSpec
 from repro.mpi.reduce_ops import SUM
+from repro.sim.engine import install_instrumentation
 
 
 def multi_protocol_cluster() -> ClusterConfig:
@@ -67,7 +68,7 @@ def main():
     args = parser.parse_args()
 
     world = MPIWorld(multi_protocol_cluster())
-    instruments = world.engine.enable_instrumentation()
+    instruments = install_instrumentation(world.engine)
     world.run(program)
 
     print(f"simulated {world.engine.now / 1000:.1f} us, "

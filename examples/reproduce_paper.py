@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """Reproduce every table and figure of the paper in one run.
 
-Deprecated entry point: this script now delegates to the consolidated
-CLI — use ``python -m repro report`` directly (it accepts the same
-targets, plus ``--workers N`` to fan measurements out across processes
-and ``--cache DIR`` to reuse previous results):
+Convenience wrapper over the consolidated CLI — identical to running
+``python -m repro report`` (which also accepts ``--workers N`` to fan
+measurements out across processes and ``--cache DIR`` to reuse previous
+results):
 
     python -m repro report              # everything (~1 min)
     python -m repro report tables       # just the tables
@@ -12,16 +12,11 @@ and ``--cache DIR`` to reuse previous results):
 """
 
 import sys
-import warnings
 
 from repro.cli import main as cli_main
 
 
 def main():
-    warnings.warn(
-        "examples/reproduce_paper.py is deprecated; use "
-        "`python -m repro report` (same targets, plus --workers/--cache)",
-        DeprecationWarning, stacklevel=2)
     return cli_main(["report", *sys.argv[1:]])
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.bench.timeline import full_report
 from repro.cluster import MPIWorld, two_node_cluster
 from repro.mpi.reduce_ops import SUM
+from repro.sim.engine import install_instrumentation
 
 
 def program(mpi):
@@ -37,7 +38,7 @@ def program(mpi):
 
 def main():
     world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))
-    tracer = world.engine.enable_tracing()
+    tracer = install_instrumentation(world.engine).tracer
     world.run(program)
     print(f"simulated {world.engine.now / 1000:.1f} us, "
           f"{world.engine.events_executed} events, "

@@ -3,12 +3,13 @@
 Three pieces (see DESIGN.md "Correctness checking"):
 
 - :mod:`repro.check.checker` — the opt-in online invariant checker
-  (``Engine.enable_checker()``), zero-cost when disabled;
+  (``EngineConfig(checker=True)`` / ``install_checker``), zero-cost
+  when disabled;
 - :mod:`repro.check.waitgraph` — rank-level wait-for-graph diagnosis for
   hung jobs (powers :class:`~repro.errors.DeadlockError`'s cycle report);
 - :mod:`repro.check.fuzz` — the deterministic schedule-fuzzing harness
-  (``python -m repro.check.fuzz``) and its bundled workloads
-  (:mod:`repro.check.workloads`).
+  (``python -m repro fuzz``) over the unified workload registry
+  (:mod:`repro.workloads`).
 
 Import discipline: this package's ``__init__`` may only import
 :mod:`.checker` (the sim engine imports it at module level); the

@@ -4,7 +4,7 @@ The checker is an :class:`~repro.sim.metrics.Instrumentation`-style
 facade: every hook site in the stack guards with ``if checker.enabled:``
 against the :data:`NULL_CHECKER` singleton, so a run with the checker off
 pays one attribute load per hook and nothing else.  Enabled via
-``Engine.enable_checker()``, it shadows the protocol state of the whole
+``EngineConfig(checker=True)`` or ``install_checker(engine)``, it shadows the protocol state of the whole
 simulated cluster (the checker is engine-wide, exactly like the tracer)
 and raises a structured :class:`~repro.errors.CheckViolation` the moment
 an invariant breaks:

@@ -31,14 +31,15 @@ other seeds' — printing the one-line repro command above.  Each
 :class:`~repro.runner.runner.Runner`, so sweeps parallelize across
 worker processes and cache their per-seed results content-addressed.
 
-The module CLI (``python -m repro.check.fuzz``) is a deprecated shim
-over ``python -m repro fuzz``.
+Workloads resolve through the unified registry
+(:mod:`repro.workloads`): anything registered there with the ``fuzz``
+tag — micro protocol storms and the ``ml_training``/``cfd_halo``
+macro-workloads alike — is sweepable here with no extra wiring.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
 from hashlib import sha256
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -145,10 +146,10 @@ def run_workload(name: str, fuzz_seed: int | None, *, workload_seed: int = 0,
                  fuzz_params: dict | None = None) -> WorkloadRun:
     """Run one bundled workload under the checker (and optionally the
     fuzzer); never raises — failures land in ``run.error``."""
-    from repro.check.workloads import WORKLOADS
+    import repro.workloads as workloads
     from repro.cluster.session import MPIWorld
 
-    config, program = WORKLOADS[name].build(workload_seed)
+    config, program = workloads.get(name).instantiate(workload_seed)
     world = MPIWorld(config, engine_config=EngineConfig(
         instrumentation=True, checker=check,
         checker_raise=raise_on_violation, fuzz_seed=fuzz_seed,
@@ -289,28 +290,3 @@ def run_sweep(workloads: Sequence[str], seeds: Iterable[int], *,
     return failures
 
 
-# ---------------------------------------------------------------------------
-# CLI (deprecated shim over `python -m repro fuzz`)
-# ---------------------------------------------------------------------------
-
-def main(argv: Sequence[str] | None = None) -> int:
-    """Deprecated: ``python -m repro.check.fuzz`` → ``python -m repro fuzz``.
-
-    Same flags, same output, same exit codes — the consolidated CLI's
-    fuzz subcommand grew out of this one.
-    """
-    import sys
-
-    from repro.cli import main as cli_main
-
-    warnings.warn(
-        "`python -m repro.check.fuzz` is deprecated; use "
-        "`python -m repro fuzz` (same options)",
-        DeprecationWarning, stacklevel=2)
-    if argv is None:
-        argv = sys.argv[1:]
-    return cli_main(["fuzz", *argv])
-
-
-if __name__ == "__main__":
-    raise SystemExit(main())

@@ -5,7 +5,11 @@ Subcommands:
 ``run``
     Execute one job (any registered :mod:`repro.runner.jobs` kind) and
     print its JSON payload — the smallest unit of work the batch runner
-    schedules, exposed for scripting and debugging.
+    schedules, exposed for scripting and debugging.  ``--workload NAME``
+    is sugar for the ``workload`` kind: it runs any workload in the
+    unified registry (:mod:`repro.workloads`), micro or macro, with
+    ``-p``/``--ranks`` overrides resolved against the workload's own
+    parameter schema.
 ``sweep``
     Run one figure's measurement jobs through the parallel runner and
     render the figure; can check (or record) golden digests so CI can
@@ -85,21 +89,45 @@ def _parse_param(text: str):
 
 
 def cmd_run(args) -> int:
+    import repro.workloads as workloads
     from repro.runner.jobs import EXECUTORS
 
     if args.list:
+        print("job kinds:")
         for kind in sorted(EXECUTORS):
-            print(kind)
+            print(f"  {kind}")
+        print("workloads (--workload NAME):")
+        for name in workloads.names():
+            wl = workloads.get(name)
+            tags = ",".join(sorted(wl.tags))
+            print(f"  {name:16s} [{tags}] {wl.description}")
         return 0
-    if not args.kind:
-        print("error: a job kind is required (see --list)", file=sys.stderr)
+    if args.workload and args.kind:
+        print("error: give either a job kind or --workload, not both",
+              file=sys.stderr)
+        return 2
+    if not args.kind and not args.workload:
+        print("error: a job kind or --workload is required (see --list)",
+              file=sys.stderr)
         return 2
     params = dict(args.param or ())
     if args.ranks is not None:
         # Sugar for the common scaling knob: equivalent to -p ranks=N on
-        # job kinds that take a world size (coll_bench and friends).
+        # workloads and job kinds that take a world size.
         params["ranks"] = args.ranks
-    spec = JobSpec(kind=args.kind, params=params, seed=args.seed)
+    kind = args.kind
+    if args.workload:
+        kind = "workload"
+        params["workload"] = args.workload
+        if args.check:
+            params["check"] = True
+        if args.metrics:
+            params["metrics"] = True
+        # Fail on typo'd names/params before a spec digest is minted.
+        workloads.get(args.workload).resolve(
+            {k: v for k, v in params.items()
+             if k not in ("workload", "check", "metrics")})
+    spec = JobSpec(kind=kind, params=params, seed=args.seed)
     runner = _make_runner(args)
     result = runner.run([spec])[0]
     if not result.ok:
@@ -187,19 +215,20 @@ def cmd_sweep(args) -> int:
 # ---------------------------------------------------------------------------
 
 def cmd_fuzz(args) -> int:
+    import repro.workloads as registry
     from repro.check.fuzz import run_sweep
-    from repro.check.workloads import WORKLOADS
 
+    fuzzable = registry.names("fuzz")
     if args.list:
-        for workload in WORKLOADS.values():
-            print(f"{workload.name:12s} {workload.description}")
+        for name in fuzzable:
+            print(f"{name:16s} {registry.get(name).description}")
         return 0
 
-    workloads = args.workloads or sorted(WORKLOADS)
-    unknown = [w for w in workloads if w not in WORKLOADS]
+    workloads = args.workloads or fuzzable
+    unknown = [w for w in workloads if w not in registry.WORKLOADS]
     if unknown:
         print(f"error: unknown workload(s) {unknown}; known: "
-              f"{sorted(WORKLOADS)}", file=sys.stderr)
+              f"{sorted(registry.WORKLOADS)}", file=sys.stderr)
         return 2
     if args.seed is not None:
         seeds: Sequence[int] = [args.seed]
@@ -282,13 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser(
         "run", help="execute one job and print its JSON payload")
     p_run.add_argument("kind", nargs="?", help="job kind (see --list)")
+    p_run.add_argument("--workload", default=None, metavar="NAME",
+                       help="run a registered workload (sugar for the "
+                            "'workload' job kind; see --list)")
+    p_run.add_argument("--check", action="store_true",
+                       help="with --workload: run under the online "
+                            "semantics checker")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="with --workload: report the workload's "
+                            "metrics of interest")
     p_run.add_argument("--param", "-p", action="append", type=_parse_param,
                        metavar="KEY=VALUE",
                        help="job parameter (JSON value or bare string); "
                             "repeatable")
     p_run.add_argument("--ranks", type=int, default=None, metavar="N",
-                       help="world size for jobs that take one "
-                            "(shorthand for -p ranks=N)")
+                       help="world size for workloads and jobs that take "
+                            "one (shorthand for -p ranks=N)")
     p_run.add_argument("--seed", type=int, default=0,
                        help="spec seed (default 0)")
     p_run.add_argument("--list", action="store_true",

@@ -1,25 +1,25 @@
-"""Deprecated: the collective algorithm zoo moved into the registry.
+"""Removed: the collective algorithm zoo lives in the registry.
 
-The free functions that lived here are now registered implementations
-in :mod:`repro.mpi.coll` (see :mod:`repro.mpi.coll.flat`) and are
-selected by name::
+The free functions that lived here are registered implementations in
+:mod:`repro.mpi.coll` (see :mod:`repro.mpi.coll.flat`) and are selected
+by name::
 
     yield from comm.bcast(obj, root=1, algorithm="linear")
     yield from comm.allreduce(x, algorithm="recursive_doubling")
     yield from comm.allgather(x, algorithm="bruck")
 
 or fetched explicitly via ``repro.mpi.coll.get("bcast", "linear").fn``.
-This module keeps the old call shapes working with
-:class:`DeprecationWarning` shims (the same migration pattern as the
-PR-5 ``enable_*`` -> ``EngineConfig`` move); the ``*_ALGORITHMS`` dicts
-keep their exact historical contents for benches and ablation sweeps.
+The old call shapes spent a release as :class:`DeprecationWarning`
+shims and are now errors naming their replacement; the
+``*_ALGORITHMS`` dicts keep their exact historical contents for
+benches and ablation sweeps.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, NoReturn
 
+from repro.errors import ConfigurationError
 from repro.mpi.coll import flat as _flat
 from repro.mpi.collectives import allreduce as _allreduce_default
 from repro.mpi.reduce_ops import Op
@@ -28,41 +28,33 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.communicator import Communicator
 
 
-def _warn(old: str, operation: str, name: str) -> None:
-    warnings.warn(
-        f"repro.mpi.algorithms.{old}() is deprecated; use "
+def _removed(old: str, operation: str, name: str) -> NoReturn:
+    raise ConfigurationError(
+        f"repro.mpi.algorithms.{old}() was removed; use "
         f"comm.{operation}(..., algorithm={name!r}) or "
-        f"repro.mpi.coll.get({operation!r}, {name!r}).fn",
-        DeprecationWarning, stacklevel=3)
+        f"repro.mpi.coll.get({operation!r}, {name!r}).fn")
 
 
 def bcast_linear(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
-    """Deprecated shim for the registry's ``("bcast", "linear")``."""
-    _warn("bcast_linear", "bcast", "linear")
-    result = yield from _flat.bcast_linear(comm, obj, root)
-    return result
+    """Removed: use the registry's ``("bcast", "linear")``."""
+    _removed("bcast_linear", "bcast", "linear")
 
 
 def bcast_binomial(comm: "Communicator", obj: Any, root: int = 0) -> Generator:
-    """Deprecated shim for the registry's ``("bcast", "binomial")``."""
-    _warn("bcast_binomial", "bcast", "binomial")
-    result = yield from _flat.bcast_binomial(comm, obj, root)
-    return result
+    """Removed: use the registry's ``("bcast", "binomial")``."""
+    _removed("bcast_binomial", "bcast", "binomial")
 
 
 def allreduce_recursive_doubling(comm: "Communicator", obj: Any,
                                  op: Op) -> Generator:
-    """Deprecated shim for ``("allreduce", "recursive_doubling")``."""
-    _warn("allreduce_recursive_doubling", "allreduce", "recursive_doubling")
-    result = yield from _flat.allreduce_recursive_doubling(comm, obj, op)
-    return result
+    """Removed: use the registry's ``("allreduce", "recursive_doubling")``."""
+    _removed("allreduce_recursive_doubling", "allreduce",
+             "recursive_doubling")
 
 
 def allgather_bruck(comm: "Communicator", obj: Any) -> Generator:
-    """Deprecated shim for the registry's ``("allgather", "bruck")``."""
-    _warn("allgather_bruck", "allgather", "bruck")
-    result = yield from _flat.allgather_bruck(comm, obj)
-    return result
+    """Removed: use the registry's ``("allgather", "bruck")``."""
+    _removed("allgather_bruck", "allgather", "bruck")
 
 
 #: Name -> callable registries, exactly as before the registry existed

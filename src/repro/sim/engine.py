@@ -31,13 +31,12 @@ from __future__ import annotations
 
 import heapq
 import random
-import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.check.checker import NULL_CHECKER, Checker
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.metrics import NULL_INSTRUMENTS, Instrumentation
 from repro.sim.trace import NULL_TRACER, Tracer
 
@@ -58,9 +57,9 @@ def seed_namespace(*parts: Any) -> str:
 class EngineConfig:
     """Everything optional about an engine, in one declarative object.
 
-    Replaces the scattered per-feature enablement calls
-    (``enable_checker`` / ``enable_instrumentation`` / ``install_fuzz``
-    wiring) with a single serializable configuration accepted by
+    Replaces the scattered per-feature enablement calls (the removed
+    ``enable_*`` methods and hand-rolled ``install_fuzz`` wiring) with a
+    single serializable configuration accepted by
     :class:`Engine` and :class:`~repro.cluster.session.MPIWorld`::
 
         world = MPIWorld(cluster, engine_config=EngineConfig(
@@ -225,7 +224,7 @@ class Engine:
         """Install whatever ``config`` asks for; returns ``self``.
 
         This is the one enablement path — the legacy ``enable_*``
-        methods are deprecation shims over it.
+        methods were removed in its favour.
         """
         self.config = config
         if config.wants_instrumentation:
@@ -257,40 +256,34 @@ class Engine:
                 seed_namespace(self.seed, namespace))
         return gen
 
-    # -- legacy enablement shims ------------------------------------------
+    # -- removed enablement shims -----------------------------------------
     #
-    # The per-feature enable_* methods predate EngineConfig; they keep
-    # working (tests and downstream scripts rely on them) but warn so
-    # new code converges on the declarative configuration.
+    # The per-feature enable_* methods predated EngineConfig, spent one
+    # release warning, and are now errors that name their replacement.
 
     def enable_instrumentation(self) -> Instrumentation:
-        """Deprecated: use ``EngineConfig(instrumentation=True)`` or
+        """Removed: use ``EngineConfig(instrumentation=True)`` or
         :func:`install_instrumentation`."""
-        warnings.warn(
-            "Engine.enable_instrumentation() is deprecated; pass "
+        raise ConfigurationError(
+            "Engine.enable_instrumentation() was removed; pass "
             "EngineConfig(instrumentation=True) to the Engine/MPIWorld "
-            "constructor (or call repro.sim.engine.install_instrumentation)",
-            DeprecationWarning, stacklevel=2)
-        return install_instrumentation(self)
+            "constructor (or call repro.sim.engine.install_instrumentation)")
 
     def enable_checker(self, raise_on_violation: bool = True) -> Checker:
-        """Deprecated: use ``EngineConfig(checker=True)`` or
+        """Removed: use ``EngineConfig(checker=True)`` or
         :func:`install_checker`."""
-        warnings.warn(
-            "Engine.enable_checker() is deprecated; pass "
-            "EngineConfig(checker=True) to the Engine/MPIWorld constructor "
-            "(or call repro.sim.engine.install_checker)",
-            DeprecationWarning, stacklevel=2)
-        return install_checker(self, raise_on_violation=raise_on_violation)
+        raise ConfigurationError(
+            "Engine.enable_checker() was removed; pass "
+            "EngineConfig(checker=True, checker_raise=...) to the "
+            "Engine/MPIWorld constructor (or call "
+            "repro.sim.engine.install_checker)")
 
     def enable_tracing(self) -> Tracer:
-        """Deprecated: the record-stream-only spelling of
-        ``EngineConfig(instrumentation=True)``; returns the live Tracer."""
-        warnings.warn(
-            "Engine.enable_tracing() is deprecated; pass "
-            "EngineConfig(instrumentation=True) and read engine.tracer",
-            DeprecationWarning, stacklevel=2)
-        return install_instrumentation(self).tracer
+        """Removed: pass ``EngineConfig(instrumentation=True)`` and read
+        ``engine.tracer``."""
+        raise ConfigurationError(
+            "Engine.enable_tracing() was removed; pass "
+            "EngineConfig(instrumentation=True) and read engine.tracer")
 
     # -- clock ------------------------------------------------------------
 

@@ -10,7 +10,8 @@ This module unifies the two observability channels of the simulator:
   replaying the record stream.
 
 An :class:`Instrumentation` object owns one of each and is installed on
-the engine by :meth:`Engine.enable_instrumentation`.  When off, the
+the engine by ``EngineConfig(instrumentation=True)`` or
+:func:`install_instrumentation`.  When off, the
 engine carries :data:`NULL_INSTRUMENTS` instead; hot paths guard their
 recording with a single ``if ins.enabled`` attribute check, so disabled
 runs pay nothing beyond that check (the benchmarks' zero-cost contract).

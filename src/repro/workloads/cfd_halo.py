@@ -1,0 +1,184 @@
+"""``cfd_halo`` — Maia-style jagged part-to-part halo exchange.
+
+The communication shape of a partitioned CFD solver: every iteration,
+each rank charges stencil compute over its cells, exchanges one halo
+message per face with each topological neighbour, and periodically
+joins a global residual allreduce.
+
+What makes it *application-shaped* rather than another ping-pong:
+
+- **jagged faces** — partitioners do not produce equal faces.  Each
+  directed edge gets its own payload size, drawn log-uniformly at build
+  time between ``min_face`` and ``max_face`` bytes, so one iteration
+  mixes eager (< 8 KiB on SCI), rendezvous, and — on the ``ib`` fabric —
+  rendezvous-over-RDMA (> 16 KiB) traffic on the same wire;
+- **asymmetry** — the two directions of one face differ (what rank A
+  sends rank B is not what B sends A), like interpolation weights on a
+  non-matching mesh interface;
+- **real topologies** — ``topology="cart"`` runs on a periodic 2-D
+  process grid (``create_cart``/``shift``, the heat2d layering:
+  smp_plug inside a node, the fabric across), ``topology="graph"`` on
+  an irregular symmetric graph (ring + seed-drawn chords) via
+  ``create_graph``, the unstructured-mesh case.
+
+Results are canonical: the sorted multiset of received
+``(iteration, source, size, checksum)`` tuples plus the exact integer
+residuals — schedule-independent by construction, so the fuzzer can
+drive it like any protocol workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.cluster.node import ClusterConfig, NodeSpec
+from repro.errors import ConfigurationError
+from repro.mpi.cartesian import dims_create
+from repro.mpi.graph import create_graph
+from repro.mpi.reduce_ops import SUM
+from repro.sim.coroutines import charge
+from repro.sim.engine import seed_namespace
+
+from repro.workloads.registry import Param, Workload, register
+
+
+def _face_size(rng: random.Random, min_face: int, max_face: int) -> int:
+    """Log-uniform draw: small faces are common, big ones real."""
+    return int(math.exp(rng.uniform(math.log(min_face), math.log(max_face))))
+
+
+def halo_graph(seed: int, ranks: int) -> dict[int, tuple[int, ...]]:
+    """A symmetric irregular topology: ring + seed-drawn chords."""
+    rng = random.Random(seed_namespace("cfd-halo", seed, "graph"))
+    neighbors: dict[int, set[int]] = {r: set() for r in range(ranks)}
+    for r in range(ranks):
+        neighbors[r].add((r + 1) % ranks)
+        neighbors[(r + 1) % ranks].add(r)
+    for _ in range(max(1, ranks // 2)):
+        a = rng.randrange(ranks)
+        b = rng.randrange(ranks)
+        if a != b:
+            neighbors[a].add(b)
+            neighbors[b].add(a)
+    return {r: tuple(sorted(neighbors[r])) for r in range(ranks)}
+
+
+def face_sizes(seed: int, edges: list[tuple[int, int]], min_face: int,
+               max_face: int) -> dict[tuple[int, int], int]:
+    """Per *directed* edge payload sizes, in one canonical draw order —
+    jagged and asymmetric, but identical for every rank and schedule."""
+    rng = random.Random(seed_namespace("cfd-halo", seed, "faces"))
+    return {edge: _face_size(rng, min_face, max_face)
+            for edge in sorted(edges)}
+
+
+def _payload(size: int, sender: int, iteration: int) -> bytes:
+    return bytes([(sender * 31 + iteration * 7) % 251]) * size
+
+
+def _checksum(data: bytes) -> int:
+    return (len(data) * 65_537 + (data[0] if data else 0)) % 1_000_003
+
+
+def _build_cfd_halo(seed: int, *, ranks: int, processes_per_node: int,
+                    network: str, topology: str, iters: int,
+                    min_face: int, max_face: int, cells_per_rank: int,
+                    compute_ns_per_cell: int, residual_every: int):
+    if ranks % processes_per_node:
+        raise ConfigurationError(
+            f"cfd_halo: ranks={ranks} not divisible by "
+            f"processes_per_node={processes_per_node}")
+    if topology not in ("cart", "graph"):
+        raise ConfigurationError(
+            f"cfd_halo: unknown topology {topology!r} (cart or graph)")
+    config = ClusterConfig(nodes=[
+        NodeSpec(f"n{i}", networks=(network, "tcp"),
+                 processes=processes_per_node)
+        for i in range(ranks // processes_per_node)])
+
+    if topology == "graph":
+        adjacency = halo_graph(seed, ranks)
+        edges = [(a, b) for a, nbrs in adjacency.items() for b in nbrs]
+    else:
+        dims = dims_create(ranks, 2)
+        edges = []
+        for r in range(ranks):
+            pr, pc = divmod(r, dims[1])
+            for nr, nc in ((pr - 1, pc), (pr + 1, pc),
+                           (pr, pc - 1), (pr, pc + 1)):
+                edges.append((r, (nr % dims[0]) * dims[1] + (nc % dims[1])))
+    sizes = face_sizes(seed, edges, min_face, max_face)
+
+    def program(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        if topology == "graph":
+            index, flat = [], []
+            for r in range(ranks):
+                flat.extend(adjacency[r])
+                index.append(len(flat))
+            topo = yield from create_graph(comm, tuple(index), tuple(flat))
+            my_neighbors = topo.neighbors
+        else:
+            topo = yield from comm.create_cart(dims, periods=(True, True))
+            my_neighbors = []
+            for direction in (0, 1):
+                low, high = topo.shift(direction, 1)
+                my_neighbors += [low, high]
+
+        received = []
+        residuals = []
+        for iteration in range(iters):
+            # Stencil compute over this rank's cells.
+            yield charge(cells_per_rank * compute_ns_per_cell)
+            # Halo exchange: post the jagged sends, then drain one
+            # receive per neighbour.  Tags carry the iteration so two
+            # neighbours sharing several faces (graph chords + ring)
+            # stay within one ordered stream each.
+            requests = []
+            for neighbor in my_neighbors:
+                data = _payload(sizes[(me, neighbor)], me, iteration)
+                requests.append(topo.isend(data, dest=neighbor,
+                                           tag=iteration % 8))
+            for neighbor in my_neighbors:
+                data, _status = yield from topo.recv(source=neighbor,
+                                                     tag=iteration % 8)
+                received.append((iteration, neighbor, len(data),
+                                 _checksum(data)))
+            for request in requests:
+                yield from request.wait()
+            # Global residual: exact integer sum, every few iterations.
+            if iteration % residual_every == 0:
+                local = sum(entry[3] for entry in received) % 1_000_003
+                total = yield from comm.allreduce(local, SUM)
+                residuals.append((iteration, total))
+        yield from comm.barrier()
+        return (tuple(sorted(received)), tuple(residuals))
+
+    return config, program
+
+
+register(Workload(
+    "cfd_halo",
+    "jagged part-to-part halo exchange on cart/graph topologies with "
+    "per-face asymmetry and periodic residual allreduces",
+    _build_cfd_halo,
+    params={
+        "ranks": Param(8, "world size (divisible by processes_per_node)"),
+        "processes_per_node": Param(2, "ranks per SMP node"),
+        "network": Param("ib", "inter-node fabric; 'ib' exercises the "
+                         "rendezvous-over-RDMA path above 16 KiB"),
+        "topology": Param("cart", "'cart' (periodic 2-D grid) or 'graph' "
+                          "(ring + seed-drawn chords)"),
+        "iters": Param(3, "solver iterations"),
+        "min_face": Param(512, "smallest face payload (bytes)"),
+        "max_face": Param(98_304, "largest face payload (bytes)"),
+        "cells_per_rank": Param(4096, "local mesh cells (compute charge)"),
+        "compute_ns_per_cell": Param(120, "modelled stencil cost per cell"),
+        "residual_every": Param(2, "iterations between residual "
+                                "allreduces"),
+    },
+    metrics=("chmad.packets", "mad.bytes", "rdma.writes"),
+    tags=frozenset({"fuzz", "macro"}),
+))

@@ -21,10 +21,12 @@ from repro.mpi import coll
 from repro.mpi.algorithms import (
     ALLREDUCE_ALGORITHMS,
     BCAST_ALGORITHMS,
-    allgather_bruck,
 )
 from repro.mpi.reduce_ops import MAX, MINLOC, SUM
+from repro.sim.engine import install_checker
 from tests.helpers import linear_cluster
+
+allgather_bruck = coll.get("allgather", "bruck").fn
 
 NETWORKS = ["sisci", "tcp", "bip"]
 
@@ -32,7 +34,7 @@ NETWORKS = ["sisci", "tcp", "bip"]
 def run_checked(program, nranks, network):
     """Run ``program`` with the checker on; fail on any violation."""
     world = MPIWorld(linear_cluster(nranks, networks=(network,)))
-    checker = world.engine.enable_checker()
+    checker = install_checker(world.engine)
     results = world.run(program)
     assert checker.violations == []
     return results
@@ -43,7 +45,7 @@ def run_checked_smp(program, network, nodes=4, processes_per_node=2):
     world = MPIWorld(multirail_smp_cluster(
         nodes=nodes, processes_per_node=processes_per_node,
         rails=2, network=network))
-    checker = world.engine.enable_checker()
+    checker = install_checker(world.engine)
     results = world.run(program)
     assert checker.violations == []
     return results

@@ -27,11 +27,13 @@ from repro.mpi.adi.packets import Envelope
 from repro.mpi.devices.ch_mad.device import ChMadRndvToken
 from repro.mpi.devices.ch_mad.packets import ChMadHeader, MadPktType
 from repro.sim import Engine
+from repro.sim.engine import install_checker
 from tests.helpers import linear_cluster
 
 
 def fresh_checker(raise_on_violation=False):
-    return Engine().enable_checker(raise_on_violation=raise_on_violation)
+    return install_checker(Engine(),
+                           raise_on_violation=raise_on_violation)
 
 
 # ---------------------------------------------------------------------------
@@ -50,7 +52,7 @@ def test_default_checker_is_the_null_object():
 
 def test_clean_run_has_no_violations():
     world = MPIWorld(linear_cluster(2, networks=("sisci",)))
-    checker = world.engine.enable_checker()
+    checker = install_checker(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -80,7 +82,7 @@ def test_clean_run_has_no_violations():
 
 def test_forged_sendok_names_rank_and_connection():
     world = MPIWorld(linear_cluster(2, networks=("sisci",)))
-    world.engine.enable_checker()
+    install_checker(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -129,7 +131,7 @@ def test_send_inside_polling_handler_is_flagged():
     p0 = session.add_process(networks=("sisci",))
     p1 = session.add_process(networks=("sisci",))
     channel = session.new_channel("main", "sisci")
-    session.engine.enable_checker()
+    install_checker(session.engine)
     port1 = p1.port(channel)
 
     def bad_handler(delivery):
@@ -194,7 +196,7 @@ def test_three_rank_relay_cycle_is_found():
 
 def test_leaked_irecv_reported_at_finalize():
     world = MPIWorld(linear_cluster(2, networks=("sisci",)))
-    world.engine.enable_checker()
+    install_checker(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -212,7 +214,7 @@ def test_leaked_irecv_reported_at_finalize():
 
 def test_unreceived_message_reported_at_finalize():
     world = MPIWorld(linear_cluster(2, networks=("sisci",)))
-    world.engine.enable_checker()
+    install_checker(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -237,7 +239,7 @@ def test_forged_ack_outside_send_window():
         nodes=[NodeSpec(f"n{i}", networks=("sisci",)) for i in range(2)],
         reliable=True)
     world = MPIWorld(config)
-    world.engine.enable_checker()
+    install_checker(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -363,7 +365,7 @@ def _ib_pair():
 def test_rma_access_outside_epoch_is_flagged():
     """A put before the first fence is access outside any exposure epoch."""
     world = MPIWorld(_ib_pair())
-    world.engine.enable_checker(raise_on_violation=True)
+    install_checker(world.engine, raise_on_violation=True)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -419,7 +421,7 @@ def test_rma_applied_ops_complete_fence_cleanly():
 def test_registration_leak_reported_at_finalize():
     """Explicitly pinned memory never released fails the finalize audit."""
     world = MPIWorld(_ib_pair())
-    world.engine.enable_checker(raise_on_violation=True)
+    install_checker(world.engine, raise_on_violation=True)
 
     def program(mpi):
         yield from mpi.comm_world.barrier()

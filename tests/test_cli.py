@@ -111,9 +111,9 @@ def test_sweep_renders_figure(capsys):
     assert "ch_mad" in out and "ch_p4" in out
 
 
-def test_legacy_fuzz_module_cli_is_a_warning_shim(capsys):
+def test_legacy_fuzz_module_cli_was_removed():
     import repro.check.fuzz as fuzz_mod
 
-    with pytest.warns(DeprecationWarning, match="python -m repro fuzz"):
-        assert fuzz_mod.main(["--list"]) == 0
-    assert "mixed" in capsys.readouterr().out
+    # The deprecated `python -m repro.check.fuzz` shim is gone; the
+    # consolidated `python -m repro fuzz` subcommand is the one CLI.
+    assert not hasattr(fuzz_mod, "main")

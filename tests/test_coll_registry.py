@@ -246,24 +246,19 @@ def test_multilane_allreduce_uses_both_rails():
 
 
 # ---------------------------------------------------------------------------
-# deprecation shims
+# removed free-function shims
 # ---------------------------------------------------------------------------
 
-def test_algorithms_module_shims_warn_but_work():
-    def program(mpi):
-        comm = mpi.comm_world
-        with pytest.warns(DeprecationWarning, match="bcast_linear"):
-            value = yield from legacy.bcast_linear(
-                comm, "x" if comm.rank == 0 else None, root=0)
-        with pytest.warns(DeprecationWarning, match="recursive_doubling"):
-            total = yield from legacy.allreduce_recursive_doubling(
-                comm, comm.rank + 1, SUM)
-        with pytest.warns(DeprecationWarning, match="allgather_bruck"):
-            everyone = yield from legacy.allgather_bruck(comm, comm.rank)
-        return (value, total, tuple(everyone))
-
-    results = MPIWorld(linear_cluster(3)).run(program)
-    assert results == [("x", 6, (0, 1, 2))] * 3
+def test_algorithms_module_free_functions_are_errors():
+    with pytest.raises(ConfigurationError, match="algorithm='linear'"):
+        legacy.bcast_linear(None, "x", root=0)
+    with pytest.raises(ConfigurationError, match="algorithm='binomial'"):
+        legacy.bcast_binomial(None, "x", root=0)
+    with pytest.raises(ConfigurationError,
+                       match="algorithm='recursive_doubling'"):
+        legacy.allreduce_recursive_doubling(None, 1, SUM)
+    with pytest.raises(ConfigurationError, match="algorithm='bruck'"):
+        legacy.allgather_bruck(None, 1)
 
 
 def test_algorithm_dicts_keep_their_historical_contents():

@@ -13,6 +13,7 @@ from repro.bench.raw_madeleine import raw_madeleine_pingpong
 from repro.cluster import ClusterConfig, MPIWorld, NodeSpec, two_node_cluster
 from repro.faults import lossy_plan
 from repro.sim import CPU, Engine, charge, sleep, yield_cpu
+from repro.sim.engine import install_instrumentation
 
 
 def test_engine_replay_is_identical():
@@ -98,7 +99,7 @@ def test_faulty_run_replays_identically():
                  for i in range(2)]
         world = MPIWorld(ClusterConfig(nodes=nodes,
                                        fault_plan=lossy_plan(0.08, seed=11)))
-        ins = world.engine.enable_instrumentation()
+        ins = install_instrumentation(world.engine)
 
         def program(mpi):
             comm = mpi.comm_world
@@ -210,7 +211,7 @@ def test_golden_world_trace_cpu_time_and_poll_counters():
     import hashlib
 
     world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))
-    ins = world.engine.enable_instrumentation()
+    ins = install_instrumentation(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world
@@ -256,7 +257,7 @@ def test_golden_faulty_run_with_timer_cancellations():
     nodes = [NodeSpec(f"n{i}", networks=("tcp", "sisci")) for i in range(2)]
     world = MPIWorld(ClusterConfig(nodes=nodes,
                                    fault_plan=lossy_plan(0.08, seed=11)))
-    ins = world.engine.enable_instrumentation()
+    ins = install_instrumentation(world.engine)
 
     def program(mpi):
         comm = mpi.comm_world

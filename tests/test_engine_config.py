@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cluster import ClusterConfig, EngineConfig, MPIWorld, NodeSpec
+from repro.errors import ConfigurationError
 from repro.sim import Engine, NULL_INSTRUMENTS
 from repro.sim.engine import (
     install_checker,
@@ -91,32 +92,22 @@ def test_seed_namespace_derivation():
 
 
 # ---------------------------------------------------------------------------
-# deprecation shims
+# removed enablement shims
 # ---------------------------------------------------------------------------
 
-def test_enable_instrumentation_warns_but_works():
+def test_enable_methods_are_errors_naming_the_replacement():
     engine = Engine()
-    with pytest.warns(DeprecationWarning, match="enable_instrumentation"):
-        instruments = engine.enable_instrumentation()
-    assert instruments.enabled
-    assert engine.instruments is instruments
-
-
-def test_enable_checker_warns_but_works():
-    engine = Engine()
-    with pytest.warns(DeprecationWarning, match="enable_checker"):
-        checker = engine.enable_checker(raise_on_violation=False)
-    assert checker.enabled
-    assert engine.checker is checker
-    assert not checker.raise_on_violation
-
-
-def test_enable_tracing_warns_but_works():
-    engine = Engine()
-    with pytest.warns(DeprecationWarning, match="enable_tracing"):
-        tracer = engine.enable_tracing()
-    assert engine.tracer is tracer
-    assert engine.instruments.enabled
+    with pytest.raises(ConfigurationError,
+                       match="EngineConfig\\(instrumentation=True\\)"):
+        engine.enable_instrumentation()
+    with pytest.raises(ConfigurationError,
+                       match="EngineConfig\\(checker=True"):
+        engine.enable_checker(raise_on_violation=False)
+    with pytest.raises(ConfigurationError, match="engine.tracer"):
+        engine.enable_tracing()
+    # A failed enable_* call must not have half-installed anything.
+    assert not engine.instruments.enabled
+    assert not engine.checker.enabled
 
 
 def test_install_helpers_do_not_warn(recwarn):
@@ -128,17 +119,17 @@ def test_install_helpers_do_not_warn(recwarn):
     assert not deprecations
 
 
-def test_shim_equivalent_to_config():
-    # The old and new spellings must drive identical simulations.
-    via_shim = MPIWorld(_two_nodes())
-    with pytest.warns(DeprecationWarning):
-        via_shim.engine.enable_instrumentation()
-    via_shim.run(_pingpong)
+def test_install_helper_equivalent_to_config():
+    # The imperative and declarative spellings must drive identical
+    # simulations.
+    via_install = MPIWorld(_two_nodes())
+    install_instrumentation(via_install.engine)
+    via_install.run(_pingpong)
 
     via_config = MPIWorld(_two_nodes(),
                           engine_config=EngineConfig(instrumentation=True))
     via_config.run(_pingpong)
 
-    assert via_shim.engine.now == via_config.engine.now
-    assert len(via_shim.engine.tracer.records) == \
+    assert via_install.engine.now == via_config.engine.now
+    assert len(via_install.engine.tracer.records) == \
         len(via_config.engine.tracer.records)

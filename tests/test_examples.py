@@ -122,3 +122,17 @@ def test_heat2d_cart(capsys):
     run_example("heat2d_cart.py")
     out = capsys.readouterr().out
     assert "max |parallel - serial| = 0.00e+00" in out
+
+
+def test_ml_training_demo(capsys):
+    run_example("ml_training_demo.py")
+    out = capsys.readouterr().out
+    assert "all three variants agree on every per-step checksum" in out
+    assert "speedup over naive" in out
+
+
+def test_cfd_halo_demo(capsys):
+    run_example("cfd_halo_demo.py")
+    out = capsys.readouterr().out
+    assert "RDMA-sized" in out
+    assert "deterministic: seed 3 reproduces digest" in out

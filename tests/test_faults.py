@@ -28,6 +28,7 @@ from repro.faults import (
 )
 from repro.mpi.devices.ch_mad.switchpoints import SWITCH_POINTS
 from repro.sim import CPU, Engine, Mailbox, MailboxSelect, wait
+from repro.sim.engine import install_instrumentation
 from repro.units import us
 
 
@@ -225,7 +226,7 @@ class TestReliableTransport:
 
     def test_reliable_without_faults_never_retransmits(self):
         world = MPIWorld(_two_node_config(reliable=True))
-        ins = world.engine.enable_instrumentation()
+        ins = install_instrumentation(world.engine)
         results = world.run(_stream_program())
         assert results[1] == [("msg", i) for i in range(20)]
         assert ins.metrics.total("transport.retransmits") == 0
@@ -233,7 +234,7 @@ class TestReliableTransport:
 
     def test_lossy_run_completes_with_correct_results(self):
         world = MPIWorld(_two_node_config(fault_plan=lossy_plan(0.05, seed=3)))
-        ins = world.engine.enable_instrumentation()
+        ins = install_instrumentation(world.engine)
         results = world.run(_stream_program())
         assert results[1] == [("msg", i) for i in range(20)]
         assert ins.metrics.total("faults.dropped") > 0
@@ -245,7 +246,7 @@ class TestReliableTransport:
                                   "tcp": FabricFaults(corrupt_rate=0.1)},
                          seed=5)
         world = MPIWorld(_two_node_config(fault_plan=plan))
-        ins = world.engine.enable_instrumentation()
+        ins = install_instrumentation(world.engine)
         results = world.run(_stream_program())
         assert results[1] == [("msg", i) for i in range(20)]
         assert ins.metrics.total("faults.corrupted") > 0
@@ -258,7 +259,7 @@ class TestReliableTransport:
                                              reliable=True))
         spiky = MPIWorld(_two_node_config(networks=("sisci",),
                                           fault_plan=plan))
-        ins = spiky.engine.enable_instrumentation()
+        ins = install_instrumentation(spiky.engine)
         program = _stream_program(count=10, size=500)
         assert baseline.run(program) == spiky.run(program)
         assert ins.metrics.total("faults.delayed") > 0
@@ -284,7 +285,7 @@ class TestChannelFailover:
 
         plan = FaultPlan(fabrics={"sisci": fabric_death(us(200))}, seed=1)
         faulty = MPIWorld(_two_node_config(fault_plan=plan))
-        ins = faulty.engine.enable_instrumentation()
+        ins = install_instrumentation(faulty.engine)
         faulty_results = faulty.run(program)
 
         assert faulty_results == clean_results

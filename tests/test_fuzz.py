@@ -102,9 +102,10 @@ def test_unfuzzed_run_is_the_deterministic_baseline():
 def test_workloads_registry_is_complete():
     assert set(WORKLOADS) == {"pingpong", "collectives", "hier_collectives",
                               "multilane", "mixed", "lossy", "rank_death",
-                              "rma_storm"}
+                              "rma_storm", "ml_training", "cfd_halo"}
     for workload in WORKLOADS.values():
         assert workload.description
+        assert "fuzz" in workload.tags  # every bundled workload is fuzzable
 
 
 # ---------------------------------------------------------------------------
@@ -184,19 +185,29 @@ def test_sweep_flags_schedule_dependent_results():
 # ---------------------------------------------------------------------------
 
 def test_cli_list_and_single_seed(capsys):
-    assert fuzz_mod.main(["--list"]) == 0
+    from repro.cli import main as cli_main
+
+    assert cli_main(["fuzz", "--list"]) == 0
     listing = capsys.readouterr().out
     for name in WORKLOADS:
         assert name in listing
-    assert fuzz_mod.main(["--workload", "mixed", "--seed", "2"]) == 0
+    assert cli_main(["fuzz", "--workload", "mixed", "--seed", "2"]) == 0
     out = capsys.readouterr().out
     assert "ok   mixed seed=2" in out
     assert "all 1 runs clean" in out
 
 
+def test_legacy_fuzz_module_cli_is_gone():
+    # The `python -m repro.check.fuzz` shim graduated out of existence;
+    # the consolidated CLI owns the subcommand now.
+    assert not hasattr(fuzz_mod, "main")
+
+
 def test_module_reexports_are_consistent():
     # fuzz.py resolves workloads lazily (import-cycle discipline) — make
-    # sure both modules see the same registry object.
+    # sure both legacy modules and the unified registry share one object.
     assert fuzz_mod is not None
+    import repro.workloads as unified
     from repro.check.workloads import WORKLOADS as again
     assert again is workloads_mod.WORKLOADS
+    assert again is unified.WORKLOADS

@@ -5,6 +5,7 @@ import pytest
 from repro.cluster import MPIWorld, paper_cluster
 from repro.errors import MPIError
 from repro.mpi.graph import GraphComm, create_graph
+from repro.sim.engine import install_instrumentation
 from tests.helpers import run_ranks
 
 
@@ -76,7 +77,7 @@ class TestGraphComm:
 class TestTimeline:
     def _traced_run(self):
         world = MPIWorld(paper_cluster(nodes=2, networks=("sisci", "tcp")))
-        world.engine.enable_tracing()
+        install_instrumentation(world.engine).tracer
 
         def program(mpi):
             comm = mpi.comm_world

@@ -6,6 +6,7 @@ import pytest
 
 from repro.cluster import MPIWorld, two_node_cluster
 from repro.sim import Engine
+from repro.sim.engine import install_instrumentation
 from repro.sim.metrics import (
     Counter,
     Gauge,
@@ -89,14 +90,14 @@ class TestInstrumentationFacade:
 
     def test_enable_instrumentation_installs_tracer_too(self):
         engine = Engine()
-        ins = engine.enable_instrumentation()
+        ins = install_instrumentation(engine)
         assert engine.instruments is ins
         assert engine.tracer is ins.tracer
         assert ins.enabled and ins.tracer.enabled
 
     def test_enable_tracing_still_returns_live_tracer(self):
         engine = Engine()
-        tracer = engine.enable_tracing()
+        tracer = install_instrumentation(engine).tracer
         tracer.emit("x", k=1)
         assert len(tracer.records) == 1
         # ... and the full facade came along for the ride.
@@ -104,7 +105,7 @@ class TestInstrumentationFacade:
 
     def test_gauge_samples_are_traced(self):
         engine = Engine()
-        ins = engine.enable_instrumentation()
+        ins = install_instrumentation(engine)
         ins.set_gauge("depth", 2, rank=0)
         (record,) = ins.tracer.select("gauge")
         assert record["name"] == "depth" and record["value"] == 2
@@ -122,7 +123,7 @@ class TestInstrumentationFacade:
 class TestStackCounters:
     def _pingpong_world(self, enable=True, size=512, rounds=3):
         world = MPIWorld(two_node_cluster(networks=("sisci",)))
-        instruments = (world.engine.enable_instrumentation() if enable
+        instruments = (install_instrumentation(world.engine) if enable
                        else world.engine.instruments)
 
         def program(mpi):
@@ -194,7 +195,7 @@ class TestStackCounters:
 
     def test_tcp_poller_idle_time_counted(self):
         world = MPIWorld(two_node_cluster(networks=("sisci", "tcp")))
-        ins = world.engine.enable_instrumentation()
+        ins = install_instrumentation(world.engine)
 
         def program(mpi):
             comm = mpi.comm_world
@@ -226,7 +227,7 @@ class TestChromeTraceExport:
 
     def test_event_shapes(self):
         engine = Engine()
-        ins = engine.enable_instrumentation()
+        ins = install_instrumentation(engine)
         ins.emit("chmad.send", src=1, pkt="MAD_SHORT_PKT", protocol="tcp")
         ins.emit("net.deliver", fabric="sisci", src=0, dst=1, nbytes=64,
                  latency=2500)

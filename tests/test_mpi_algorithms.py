@@ -1,15 +1,22 @@
-"""Equivalence tests for the alternative collective algorithms."""
+"""Equivalence tests for the alternative collective algorithms.
+
+The implementations live in the registry (:mod:`repro.mpi.coll`); the
+old :mod:`repro.mpi.algorithms` free functions are removal errors, which
+the last test pins.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mpi.algorithms import (
-    allgather_bruck,
-    allreduce_recursive_doubling,
-    bcast_linear,
-)
+from repro.errors import ConfigurationError
+from repro.mpi import coll
 from repro.mpi.reduce_ops import MAX, SUM, user_op
 from tests.helpers import run_ranks
+
+bcast_linear = coll.get("bcast", "linear").fn
+bcast_binomial = coll.get("bcast", "binomial").fn
+allreduce_recursive_doubling = coll.get("allreduce", "recursive_doubling").fn
+allgather_bruck = coll.get("allgather", "bruck").fn
 
 SIZES = [1, 2, 3, 4, 5, 7, 8]
 
@@ -91,7 +98,6 @@ class TestAlgorithmCosts:
 
             return max(run_ranks(program, nranks=8))
 
-        from repro.mpi.algorithms import bcast_binomial
         linear_time = timed(bcast_linear)
         binomial_time = timed(bcast_binomial)
         assert binomial_time < linear_time
@@ -109,3 +115,21 @@ class TestAlgorithmCosts:
             return fast == slow == sum(root_values)
 
         assert all(run_ranks(program, nranks=nranks))
+
+
+class TestRemovedFreeFunctions:
+    def test_legacy_module_functions_raise_with_replacement(self):
+        from repro.mpi import algorithms as legacy
+
+        for fn, hint in [
+            (lambda: legacy.bcast_linear(None, "x"), "algorithm='linear'"),
+            (lambda: legacy.bcast_binomial(None, "x"),
+             "algorithm='binomial'"),
+            (lambda: legacy.allreduce_recursive_doubling(None, 1, SUM),
+             "algorithm='recursive_doubling'"),
+            (lambda: legacy.allgather_bruck(None, 1), "algorithm='bruck'"),
+        ]:
+            with pytest.raises(ConfigurationError) as exc:
+                fn()
+            assert hint in str(exc.value)
+            assert "repro.mpi.coll.get" in str(exc.value)

@@ -8,6 +8,7 @@ from repro.faults import FaultPlan, fabric_death
 from repro.madeleine import MadeleineSession
 from repro.madeleine.striping import stripe_sizes, striped_recv, striped_send
 from repro.networks import base_protocol
+from repro.sim.engine import install_instrumentation
 from repro.units import us
 
 
@@ -129,7 +130,7 @@ class TestStripingUnderFaults:
                              repeats=1):
         session, channels = make_rail_session(rails=rails,
                                               fault_plan=fault_plan)
-        ins = session.engine.enable_instrumentation()
+        ins = install_instrumentation(session.engine)
         p0, p1 = session.processes
         ports0 = [p0.port(c) for c in channels]
         ports1 = [p1.port(c) for c in channels]

@@ -15,6 +15,7 @@ from hypothesis import given, settings, strategies as st
 from repro.cluster import ClusterConfig, MPIWorld
 from repro.faults import lossy_plan
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.sim.engine import install_checker
 from tests.helpers import linear_cluster
 
 #: Sizes straddling the SCI switch point (8 KB): eager and rendezvous mix.
@@ -162,7 +163,7 @@ def test_wildcards_and_collectives_run_checker_clean(schedule):
         config = ClusterConfig(nodes=config.nodes,
                                fault_plan=lossy_plan(0.03, seed=fault_seed))
     world = MPIWorld(config)
-    checker = world.engine.enable_checker()
+    checker = install_checker(world.engine)
 
     def program(mpi):
         from repro.mpi import point2point as _p2p

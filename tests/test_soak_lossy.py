@@ -18,6 +18,7 @@ import pytest
 
 from repro.cluster import MPIWorld
 from repro.faults import lossy_plan
+from repro.sim.engine import install_instrumentation
 from tests.helpers import linear_cluster
 
 SOAK = os.environ.get("REPRO_SOAK") == "1"
@@ -49,7 +50,7 @@ def _run_lossy(seed, nranks=3, nmessages=18, drop_rate=0.01):
     config = linear_cluster(nranks, networks=("tcp", "sisci"))
     config.fault_plan = lossy_plan(drop_rate, seed=seed)
     world = MPIWorld(config)
-    ins = world.engine.enable_instrumentation()
+    ins = install_instrumentation(world.engine)
     messages = _schedule(nranks, nmessages, seed)
 
     expected = defaultdict(list)

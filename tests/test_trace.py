@@ -2,6 +2,7 @@
 
 from repro.cluster import MPIWorld, two_node_cluster
 from repro.sim import Engine
+from repro.sim.engine import install_instrumentation
 from repro.sim.trace import NULL_TRACER, TraceRecord, Tracer, span_durations
 
 
@@ -14,7 +15,7 @@ class TestTracer:
 
     def test_emit_records_time_and_fields(self):
         engine = Engine()
-        tracer = engine.enable_tracing()
+        tracer = install_instrumentation(engine).tracer
         engine.schedule(100, lambda: tracer.emit("evt", key="v"))
         engine.run()
         (record,) = tracer.records
@@ -24,7 +25,7 @@ class TestTracer:
 
     def test_select_filters_by_fields(self):
         engine = Engine()
-        tracer = engine.enable_tracing()
+        tracer = install_instrumentation(engine).tracer
         tracer.emit("msg", dst=1)
         tracer.emit("msg", dst=2)
         tracer.emit("other", dst=1)
@@ -34,7 +35,7 @@ class TestTracer:
 
     def test_sink_called_live(self):
         engine = Engine()
-        tracer = engine.enable_tracing()
+        tracer = install_instrumentation(engine).tracer
         seen = []
         tracer.sink = seen.append
         tracer.emit("x")
@@ -48,7 +49,7 @@ class TestTracer:
 
     def test_clear(self):
         engine = Engine()
-        tracer = engine.enable_tracing()
+        tracer = install_instrumentation(engine).tracer
         tracer.emit("x")
         tracer.clear()
         assert tracer.records == []
@@ -68,7 +69,7 @@ class TestTracer:
 class TestStackIntegration:
     def _traced_world(self, size=100):
         world = MPIWorld(two_node_cluster(networks=("sisci",)))
-        tracer = world.engine.enable_tracing()
+        tracer = install_instrumentation(world.engine).tracer
 
         def program(mpi):
             comm = mpi.comm_world
